@@ -1,0 +1,182 @@
+// Command paper regenerates the evaluation artefacts of "Improving
+// Interrupt Response Time in a Verifiable Protected Microkernel"
+// (EuroSys 2012): Tables 1 and 2, Figures 8 and 9, the §6 headline
+// interrupt-latency bound, the §6.1 fastpath figure and the §6.3
+// analysis-time breakdown.
+//
+// Usage:
+//
+//	paper [-runs N] [-table 1|2] [-figure 8|9] [-headline]
+//	      [-ablations] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"verikern"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paper: ")
+	runs := flag.Int("runs", verikern.DefaultRuns, "measurement runs per observed value")
+	table := flag.Int("table", 0, "print only this table (1 or 2)")
+	figure := flag.Int("figure", 0, "print only this figure (8 or 9)")
+	headline := flag.Bool("headline", false, "print only the headline latency")
+	asJSON := flag.Bool("json", false, "emit all results as JSON instead of formatted tables")
+	ablations := flag.Bool("ablations", false, "print the design-space ablations (L2 locking, TCM, clearing granularity)")
+	flag.Parse()
+
+	if *asJSON {
+		emitJSON(*runs)
+		return
+	}
+	if *ablations {
+		printAblations()
+		return
+	}
+
+	all := *table == 0 && *figure == 0 && !*headline
+
+	if all || *table == 1 {
+		rows, err := verikern.Table1()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(verikern.FormatTable1(rows))
+	}
+	if all || *table == 2 {
+		rows, err := verikern.Table2(*runs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(verikern.FormatTable2(rows))
+	}
+	if all || *figure == 8 {
+		bars, err := verikern.Fig8(*runs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(verikern.FormatFig8(bars))
+	}
+	if all || *figure == 9 {
+		bars, err := verikern.Fig9(*runs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(verikern.FormatFig9(bars))
+	}
+	if all || *headline {
+		off, err := verikern.ComputeHeadline(false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		on, err := verikern.ComputeHeadline(true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Headline worst-case interrupt latency (syscall + interrupt bounds):\n")
+		fmt.Printf("  L2 disabled: %7d cycles  %7.1f µs   (paper: 189117 cycles, 356 µs)\n",
+			off.TotalCycles, off.TotalMicros)
+		fmt.Printf("  L2 enabled:  %7d cycles  %7.1f µs   (paper: 481 µs)\n\n",
+			on.TotalCycles, on.TotalMicros)
+	}
+	if all {
+		fp, err := verikern.FastpathCycles()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("IPC fastpath syscall round: %d kernel cycles (fastpath body 230; paper: 200-250 plus entry/exit)\n\n", fp)
+
+		times, err := verikern.AnalysisTimes()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Analysis computation time per entry point (§6.3):")
+		for _, e := range verikern.EntryPoints() {
+			fmt.Printf("  %-24s %v\n", e.Label(), times[e])
+		}
+	}
+	os.Exit(0)
+}
+
+// printAblations renders the design-space experiments beyond the
+// paper's tables: the §8 L2-locking idea, the §5.1 TCM alternative, and
+// the §3.5 clearing-granularity sweep.
+func printAblations() {
+	l2, err := verikern.AblationL2Lock()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("L2 kernel locking (§8 future work): computed bounds, L2 enabled")
+	fmt.Printf("%-24s %12s %12s %10s\n", "Event handler", "plain", "locked", "reduction")
+	for _, r := range l2 {
+		fmt.Printf("%-24s %12d %12d %9.0f%%\n", r.Entry.Label(), r.PlainL2Cycles, r.LockedL2Cycles, r.ReductionPercent)
+	}
+
+	tcm, err := verikern.AblationTCM()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nInterrupt-path latency-hiding mechanisms (§4, §5.1): computed bounds")
+	fmt.Printf("  baseline %d, way-locked %d, TCM %d cycles\n",
+		tcm.BaselineCycles, tcm.PinnedCycles, tcm.TCMCycles)
+
+	chunks, err := verikern.AblationClearChunk(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nObject-clearing preemption granularity (§3.5): worst latency under periodic IRQ")
+	fmt.Printf("%-12s %16s %16s\n", "chunk", "worst latency", "workload cycles")
+	for _, r := range chunks {
+		fmt.Printf("%8d B %16d %16d\n", r.ChunkBytes, r.WorstLatency, r.TotalCycles)
+	}
+}
+
+// emitJSON runs every experiment and writes one machine-readable
+// document, for plotting pipelines.
+func emitJSON(runs int) {
+	type doc struct {
+		Table1   []verikern.Table1Row         `json:"table1"`
+		Table2   []verikern.Table2Row         `json:"table2"`
+		Fig8     []verikern.Fig8Bar           `json:"fig8"`
+		Fig9     []verikern.Fig9Bar           `json:"fig9"`
+		Headline map[string]verikern.Headline `json:"headline"`
+		L2Lock   []verikern.L2LockAblation    `json:"l2lock"`
+	}
+	var d doc
+	var err error
+	if d.Table1, err = verikern.Table1(); err != nil {
+		log.Fatal(err)
+	}
+	if d.Table2, err = verikern.Table2(runs); err != nil {
+		log.Fatal(err)
+	}
+	if d.Fig8, err = verikern.Fig8(runs); err != nil {
+		log.Fatal(err)
+	}
+	if d.Fig9, err = verikern.Fig9(runs); err != nil {
+		log.Fatal(err)
+	}
+	off, err := verikern.ComputeHeadline(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	on, err := verikern.ComputeHeadline(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Headline = map[string]verikern.Headline{"l2off": off, "l2on": on}
+	if d.L2Lock, err = verikern.AblationL2Lock(); err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Command wcet runs the static worst-case execution time analysis on
+// one kernel entry point and reports the bound, the worst path's
+// composition, cache-classification statistics and the ILP problem
+// size — the per-run detail behind the paper's Tables 1 and 2.
+//
+// Usage:
+//
+//	wcet [-entry handleSyscall] [-variant modern|original]
+//	     [-l2] [-bpred] [-pin] [-observe N] [-trace] [-hot N]
+//	     [-lp] [-verify] [-obligations] [-dump]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"verikern"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wcet: ")
+	entry := flag.String("entry", string(verikern.Syscall), "entry point to analyse")
+	variantName := flag.String("variant", "modern", "kernel variant: modern or original")
+	l2 := flag.Bool("l2", false, "enable the L2 cache")
+	bpred := flag.Bool("bpred", false, "enable the branch predictor")
+	pin := flag.Bool("pin", false, "enable L1 cache pinning")
+	observe := flag.Int("observe", 0, "also measure the worst path over N polluted runs")
+	trace := flag.Bool("trace", false, "print the worst-case path's block sequence")
+	dumpLP := flag.Bool("lp", false, "dump the generated integer linear program")
+	hot := flag.Int("hot", 0, "print the N blocks contributing most to the bound")
+	verify := flag.Bool("verify", false, "model-check the image's loop-bound annotations (§5.3)")
+	obligations := flag.Bool("obligations", false, "print the proof obligations for the image's manual constraints (§5.2)")
+	dumpImage := flag.Bool("dump", false, "print a disassembly-style listing of the kernel image")
+	flag.Parse()
+
+	variant := verikern.Modern
+	if *variantName == "original" {
+		variant = verikern.Original
+	} else if *variantName != "modern" {
+		log.Fatalf("unknown variant %q", *variantName)
+	}
+
+	im, err := verikern.BuildImage(variant, *pin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hw := verikern.Hardware{L2Enabled: *l2, BranchPredictor: *bpred}
+	if *pin {
+		hw.PinnedL1Ways = 1
+	}
+	if *verify {
+		if err := im.VerifyLoopBounds(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("loop bounds: every annotation justified by its model-checked bound")
+	}
+	if *obligations {
+		fmt.Println("proof obligations for manual infeasible-path constraints:")
+		for _, c := range im.Constraints {
+			fmt.Println("  " + c.Obligation())
+		}
+	}
+	if *dumpImage {
+		if err := im.Img.Dump(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var bd verikern.Bound
+	if *dumpLP {
+		bd, err = im.AnalyzeWithLP(hw, verikern.EntryPoint(*entry))
+	} else {
+		bd, err = im.Analyze(hw, verikern.EntryPoint(*entry))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := bd.Result
+
+	fmt.Printf("entry:        %s (%s kernel%s)\n", *entry, variant, pinSuffix(*pin))
+	fmt.Printf("hardware:     L2=%v branch-predictor=%v pinned-ways=%d\n", *l2, *bpred, hw.PinnedL1Ways)
+	fmt.Printf("bound:        %d cycles = %.1f µs @532 MHz\n", bd.Cycles, bd.Micros)
+	fmt.Printf("cfg:          %d inlined nodes, %d loops\n", len(r.Graph.Nodes), len(r.Graph.Loops))
+	fmt.Printf("ilp:          %d variables, %d constraints, solved in %v\n",
+		r.LPVars, r.LPConstraints, r.SolveTime)
+	fmt.Printf("analysis:     %v total\n", r.AnalysisTime)
+	c := r.Classified
+	fmt.Printf("cache model:  fetch %d hit / %d miss; data %d hit / %d miss / %d unclassified\n",
+		c.FetchHit, c.FetchMiss, c.DataHit, c.DataMiss, c.DataUnknown)
+	fmt.Printf("worst path:   %d basic blocks\n", len(r.Trace))
+
+	if *trace {
+		fmt.Println("\nworst-case path:")
+		for i, blk := range r.Trace {
+			fmt.Printf("  %4d  %#x  %-14s (%d instrs)\n", i, blk.Addr, blk.Name, blk.NumInstrs())
+			if i > 200 {
+				fmt.Printf("  ... %d more blocks\n", len(r.Trace)-i)
+				break
+			}
+		}
+	}
+
+	if *hot > 0 {
+		fmt.Printf("\nhottest blocks (of %d cycles):\n", bd.Cycles)
+		for _, h := range r.Hottest(*hot) {
+			fmt.Printf("  %8d cycles (%4.1f%%)  ×%-5d %s\n",
+				h.Cycles, 100*float64(h.Cycles)/float64(bd.Cycles), h.Count, h.Key)
+		}
+	}
+
+	if *dumpLP {
+		fmt.Println("\nILP problem:")
+		fmt.Print(r.LPText)
+	}
+
+	if *observe > 0 {
+		obs := im.Observe(hw, bd, *observe)
+		fmt.Printf("\nobserved over %d polluted runs:\n", obs.Runs)
+		fmt.Printf("  max:  %d cycles = %.1f µs  (ratio %.2f)\n",
+			obs.Max, verikern.CyclesToMicros(obs.Max), float64(bd.Cycles)/float64(obs.Max))
+		fmt.Printf("  mean: %.0f cycles\n", obs.Mean)
+		fmt.Printf("  min:  %d cycles\n", obs.Min)
+	}
+}
+
+func pinSuffix(pin bool) string {
+	if pin {
+		return ", pinned"
+	}
+	return ""
+}

@@ -1,0 +1,95 @@
+// Badge revocation demo (§3.4): a server hands badged endpoint
+// capabilities to clients, then revokes one badge while requests are
+// in flight. The revocation must abort exactly the revoked badge's
+// pending IPCs, leave everyone else queued, survive preemption
+// mid-walk, and let the server re-issue the badge afterwards with full
+// authenticity guarantees.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"verikern"
+)
+
+func main() {
+	log.SetFlags(0)
+	sys, err := verikern.Boot(verikern.ModernKernel())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	server, err := sys.CreateThread("server", 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.StartThread(server)
+
+	eps, err := sys.CreateObjects(server, verikern.TypeEndpoint, 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ep := eps[0]
+
+	// Mint one badged cap per tenant and let their clients queue
+	// requests.
+	const tenants = 3
+	const clientsPerTenant = 8
+	badged := make([]uint32, tenants)
+	clients := make([][]*verikern.TCB, tenants)
+	for b := 0; b < tenants; b++ {
+		addr, err := sys.MintBadgedCap(server, ep, uint32(b+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		badged[b] = addr
+		for c := 0; c < clientsPerTenant; c++ {
+			t, err := sys.CreateThread(fmt.Sprintf("tenant%d-client%d", b+1, c), 50)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sys.StartThread(t)
+			if err := sys.Send(t, addr, 2, nil, false); err != nil {
+				log.Fatal(err)
+			}
+			clients[b] = append(clients[b], t)
+		}
+	}
+	fmt.Printf("%d tenants, %d queued requests each\n", tenants, clientsPerTenant)
+
+	// Revoke tenant 2's badge with an interrupt landing mid-walk:
+	// the four-field resume state on the endpoint (§3.4) carries the
+	// operation across the preemption.
+	sys.SetTimer(sys.Now() + 1_500)
+	if err := sys.RevokeBadge(server, ep, 2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("revoked badge 2: %d preemption points hit, worst latency %.1f µs\n",
+		sys.Stats().Preemptions, verikern.CyclesToMicros(sys.MaxLatency()))
+
+	// Check the outcome per tenant.
+	for b := 0; b < tenants; b++ {
+		aborted, waiting := 0, 0
+		for _, c := range clients[b] {
+			if c.WaitingOn != nil {
+				waiting++
+			} else {
+				aborted++
+			}
+		}
+		fmt.Printf("  tenant %d: %d aborted, %d still queued\n", b+1, aborted, waiting)
+	}
+
+	// The badge can now be re-issued with a fresh authenticity
+	// guarantee: no old client can still use it.
+	if _, err := sys.MintBadgedCap(server, ep, 2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("badge 2 re-issued to a new client")
+
+	if err := sys.InvariantFailure(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all kernel invariants held throughout")
+}

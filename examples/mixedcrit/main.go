@@ -1,0 +1,83 @@
+// Mixed-criticality demo: a hard real-time task shares the processor
+// with an untrusted best-effort task that deliberately triggers the
+// kernel's longest-running operations. The paper's motivation (§1) is
+// exactly this consolidation: the kernel must bound the interrupt
+// response the real-time task sees no matter what the untrusted task
+// does.
+//
+// The demo runs the same adversarial workload against both kernel
+// generations and prints the worst interrupt latency each exhibits,
+// demonstrating that the preemption points (not scheduling priority)
+// are what saves the real-time task.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"verikern"
+)
+
+// attack floods an endpoint with blocked senders and then deletes it —
+// the unbounded-queue deletion of §3.3 — with a timer IRQ (the RT
+// task's release) landing mid-operation.
+func attack(v verikern.Variant, waiters int) (worst uint64, preemptions uint64, err error) {
+	sys, err := verikern.BootVariant(v)
+	if err != nil {
+		return 0, 0, err
+	}
+	adversary, err := sys.CreateThread("adversary", 10) // LOW priority
+	if err != nil {
+		return 0, 0, err
+	}
+	sys.StartThread(adversary)
+
+	eps, err := sys.CreateObjects(adversary, verikern.TypeEndpoint, 0, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < waiters; i++ {
+		w, err := sys.CreateThread("w", 5)
+		if err != nil {
+			return 0, 0, err
+		}
+		sys.StartThread(w)
+		if err := sys.Send(w, eps[0], 1, nil, false); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// The RT task's timer fires shortly after the deletion starts.
+	// Priority cannot help: the kernel runs with interrupts disabled
+	// until it reaches a preemption point or finishes.
+	sys.SetTimer(sys.Now() + 2_000)
+	if err := sys.DeleteCap(adversary, eps[0]); err != nil {
+		return 0, 0, err
+	}
+	if err := sys.InvariantFailure(); err != nil {
+		return 0, 0, err
+	}
+	return sys.MaxLatency(), sys.Stats().Preemptions, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	const waiters = 512
+
+	fmt.Printf("adversary queues %d threads on an endpoint, then deletes it;\n", waiters)
+	fmt.Printf("the RT task's timer fires mid-deletion.\n\n")
+
+	for _, v := range []verikern.Variant{verikern.Original, verikern.Modern} {
+		worst, preemptions, err := attack(v, waiters)
+		if err != nil {
+			log.Fatalf("%v: %v", v, err)
+		}
+		fmt.Printf("%-9s kernel: worst interrupt latency %9d cycles (%8.1f µs), %d preemption points hit\n",
+			v, worst, verikern.CyclesToMicros(worst), preemptions)
+	}
+
+	fmt.Println("\nThe original kernel holds interrupts off for the whole deletion —")
+	fmt.Println("its latency scales with the adversary's queue. The modern kernel")
+	fmt.Println("preempts after each dequeued waiter (§3.3), so the RT task's")
+	fmt.Println("release is honoured within a bounded window regardless of load.")
+}

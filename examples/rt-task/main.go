@@ -1,0 +1,113 @@
+// Periodic real-time task demo: the paper's motivating system (§1) —
+// a hard real-time task sharing the processor with untrusted
+// components, its releases driven by a periodic timer interrupt
+// delivered through an IRQ-handler notification object.
+//
+// The demo registers a handler thread for the timer IRQ, runs an
+// adversarial best-effort workload (large object creation, endpoint
+// churn, badge revocation), and reports the release latency
+// distribution the RT task experiences — bounded on the modern kernel,
+// workload-dependent on the original.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"verikern"
+)
+
+const timerPeriod = 60_000 // cycles between RT releases (~113 µs)
+
+func run(v verikern.Variant) ([]uint64, uint64, error) {
+	sys, err := verikern.BootVariant(v)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// The RT task: highest priority, woken by the timer IRQ.
+	rt, err := sys.CreateThread("rt-task", 255)
+	if err != nil {
+		return nil, 0, err
+	}
+	sys.StartThread(rt)
+	irqEP, err := sys.CreateObjects(rt, verikern.TypeNotification, 0, 1)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := sys.RegisterIRQHandler(rt, irqEP[0]); err != nil {
+		return nil, 0, err
+	}
+	if err := sys.WaitIRQ(rt, irqEP[0]); err != nil {
+		return nil, 0, err
+	}
+	sys.SetPeriodicTimer(timerPeriod)
+
+	// The adversary: low priority, hammering the kernel's longest
+	// operations.
+	adv, err := sys.CreateThread("adversary", 10)
+	if err != nil {
+		return nil, 0, err
+	}
+	sys.StartThread(adv)
+
+	for round := 0; round < 4; round++ {
+		// Large-object creation: long clears.
+		if _, err := sys.CreateObjects(adv, verikern.TypeFrame, 18, 1); err != nil {
+			return nil, 0, err
+		}
+		// Endpoint churn with deletion.
+		eps, err := sys.CreateObjects(adv, verikern.TypeEndpoint, 0, 1)
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := 0; i < 64; i++ {
+			w, err := sys.CreateThread("w", 5)
+			if err != nil {
+				return nil, 0, err
+			}
+			sys.StartThread(w)
+			sys.Send(w, eps[0], 1, nil, false)
+		}
+		if err := sys.DeleteCap(adv, eps[0]); err != nil {
+			return nil, 0, err
+		}
+		// The RT task runs at each release (it outranks the
+		// adversary), does its work and waits for the next one.
+		for rt.State.Runnable() {
+			if err := sys.WaitIRQ(rt, irqEP[0]); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	if err := sys.InvariantFailure(); err != nil {
+		return nil, 0, err
+	}
+	return sys.Latencies(), sys.IRQHandlerRuns(), nil
+}
+
+func main() {
+	log.SetFlags(0)
+	fmt.Printf("periodic RT task (period %d cycles = %.0f µs) vs adversarial workload\n\n",
+		timerPeriod, verikern.CyclesToMicros(timerPeriod))
+	for _, v := range []verikern.Variant{verikern.Original, verikern.Modern} {
+		lats, wakes, err := run(v)
+		if err != nil {
+			log.Fatalf("%v: %v", v, err)
+		}
+		sorted := append([]uint64(nil), lats...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		if len(sorted) == 0 {
+			log.Fatalf("%v: no releases recorded", v)
+		}
+		p50 := sorted[len(sorted)/2]
+		max := sorted[len(sorted)-1]
+		fmt.Printf("%-9s kernel: %3d releases, %d handler wakeups\n", v, len(sorted), wakes)
+		fmt.Printf("          release latency: median %6d cycles (%6.1f µs), worst %8d cycles (%8.1f µs)\n\n",
+			p50, verikern.CyclesToMicros(p50), max, verikern.CyclesToMicros(max))
+	}
+	fmt.Println("The modern kernel's preemption points keep every release within the")
+	fmt.Println("analysed bound; the original kernel blows through whole periods while")
+	fmt.Println("clearing objects with interrupts disabled.")
+}

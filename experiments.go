@@ -1,0 +1,548 @@
+package verikern
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"verikern/internal/arch"
+	"verikern/internal/kbin"
+	"verikern/internal/machine"
+	"verikern/internal/measure"
+	"verikern/internal/wcet"
+)
+
+// DefaultRuns is the number of polluted-state measurement runs per
+// observed value. The paper takes the maximum of 100,000 hardware
+// executions (§6.2); the simulator's adversarial pollution converges
+// with far fewer.
+const DefaultRuns = 64
+
+// Table1Row is one line of Table 1: computed WCET with and without L1
+// cache pinning.
+type Table1Row struct {
+	Entry         EntryPoint
+	WithoutMicros float64
+	WithMicros    float64
+	GainPercent   float64
+	WithoutCycles uint64
+	WithCycles    uint64
+}
+
+// Table1 reproduces Table 1 (§4): the computed worst-case latency per
+// entry point with and without pinning frequently used cache lines
+// into the L1 caches (modern kernel, L2 disabled).
+func Table1() ([]Table1Row, error) {
+	plain, err := BuildImage(Modern, false)
+	if err != nil {
+		return nil, err
+	}
+	pinned, err := BuildImage(Modern, true)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table1Row
+	for _, e := range EntryPoints() {
+		u, err := plain.Analyze(Hardware{}, e)
+		if err != nil {
+			return nil, err
+		}
+		p, err := pinned.Analyze(Hardware{PinnedL1Ways: 1}, e)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Entry:         e,
+			WithoutMicros: u.Micros,
+			WithMicros:    p.Micros,
+			GainPercent:   100 * (1 - float64(p.Cycles)/float64(u.Cycles)),
+			WithoutCycles: u.Cycles,
+			WithCycles:    p.Cycles,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders Table 1 in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: computed WCET with and without L1 cache pinning (L2 disabled)\n")
+	fmt.Fprintf(&b, "%-24s %14s %14s %8s\n", "Event handler", "Without pin", "With pin", "% gain")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %11.1f µs %11.1f µs %7.0f%%\n",
+			r.Entry.Label(), r.WithoutMicros, r.WithMicros, r.GainPercent)
+	}
+	return b.String()
+}
+
+// Table2Row is one line of Table 2: before/after bounds and the
+// computed-vs-observed comparison per L2 setting.
+type Table2Row struct {
+	Entry EntryPoint
+	// BeforeL2Off is the pre-modification computed bound, µs.
+	BeforeL2Off float64
+	// Computed/Observed/Ratio per L2 setting, after the changes.
+	L2Off, L2On Table2Cell
+}
+
+// Table2Cell is the (computed, observed, ratio) triple of Table 2.
+type Table2Cell struct {
+	ComputedMicros float64
+	ObservedMicros float64
+	Ratio          float64
+	ComputedCycles uint64
+	ObservedCycles uint64
+}
+
+// Table2 reproduces Table 2 (§6): WCET for each kernel entry point
+// before and after the paper's changes, computed bounds against
+// best-effort observed worst cases, with the L2 disabled and enabled.
+func Table2(runs int) ([]Table2Row, error) {
+	if runs <= 0 {
+		runs = DefaultRuns
+	}
+	before, err := BuildImage(Original, false)
+	if err != nil {
+		return nil, err
+	}
+	after, err := BuildImage(Modern, false)
+	if err != nil {
+		return nil, err
+	}
+	cell := func(hw Hardware, e EntryPoint) (Table2Cell, error) {
+		bd, err := after.Analyze(hw, e)
+		if err != nil {
+			return Table2Cell{}, err
+		}
+		obs := after.Observe(hw, bd, runs)
+		return Table2Cell{
+			ComputedMicros: bd.Micros,
+			ObservedMicros: obs.Micros(),
+			Ratio:          measure.Ratio(bd.Cycles, obs.Max),
+			ComputedCycles: bd.Cycles,
+			ObservedCycles: obs.Max,
+		}, nil
+	}
+	var rows []Table2Row
+	for _, e := range EntryPoints() {
+		b, err := before.Analyze(Hardware{}, e)
+		if err != nil {
+			return nil, err
+		}
+		off, err := cell(Hardware{}, e)
+		if err != nil {
+			return nil, err
+		}
+		on, err := cell(Hardware{L2Enabled: true}, e)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{Entry: e, BeforeL2Off: b.Micros, L2Off: off, L2On: on})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders Table 2 in the paper's layout.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: WCET per kernel entry point, before and after the changes\n")
+	fmt.Fprintf(&b, "%-24s | %10s | %10s %10s %6s | %10s %10s %6s\n",
+		"", "Before;off", "Computed", "Observed", "Ratio", "Computed", "Observed", "Ratio")
+	fmt.Fprintf(&b, "%-24s | %10s | %28s | %28s\n", "Event handler", "(µs)", "After; L2 disabled (µs)", "After; L2 enabled (µs)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s | %10.1f | %10.1f %10.1f %6.2f | %10.1f %10.1f %6.2f\n",
+			r.Entry.Label(), r.BeforeL2Off,
+			r.L2Off.ComputedMicros, r.L2Off.ObservedMicros, r.L2Off.Ratio,
+			r.L2On.ComputedMicros, r.L2On.ObservedMicros, r.L2On.Ratio)
+	}
+	return b.String()
+}
+
+// Fig8Bar is one bar of Figure 8: the hardware-model overestimation on
+// a realisable path.
+type Fig8Bar struct {
+	Entry     EntryPoint
+	L2Enabled bool
+	// OverestimationPercent is the gap between the analyser's cost
+	// of the measured path and its observed execution time.
+	OverestimationPercent float64
+}
+
+// Fig8 reproduces Figure 8 (§6.2): the analysis is forced onto the
+// exact path that is measured (TraceCycles plays the role of the extra
+// ILP constraints), so the remaining gap isolates pipeline/cache-model
+// conservatism from path pessimism.
+func Fig8(runs int) ([]Fig8Bar, error) {
+	if runs <= 0 {
+		runs = DefaultRuns
+	}
+	im, err := BuildImage(Modern, false)
+	if err != nil {
+		return nil, err
+	}
+	var bars []Fig8Bar
+	for _, l2 := range []bool{true, false} {
+		hw := Hardware{L2Enabled: l2}
+		for _, e := range EntryPoints() {
+			bd, err := im.Analyze(hw, e)
+			if err != nil {
+				return nil, err
+			}
+			computed := wcet.TraceCycles(im.Img, hw, bd.Result.Trace)
+			obs := im.Observe(hw, bd, runs)
+			bars = append(bars, Fig8Bar{
+				Entry:                 e,
+				L2Enabled:             l2,
+				OverestimationPercent: measure.OverestimationPercent(computed, obs.Max),
+			})
+		}
+	}
+	return bars, nil
+}
+
+// FormatFig8 renders Figure 8's data series.
+func FormatFig8(bars []Fig8Bar) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: hardware-model overestimation on realisable paths (%% over observed)\n")
+	fmt.Fprintf(&b, "%-24s %14s %14s\n", "Path", "L2 enabled", "L2 disabled")
+	for _, e := range EntryPoints() {
+		var on, off float64
+		for _, bar := range bars {
+			if bar.Entry != e {
+				continue
+			}
+			if bar.L2Enabled {
+				on = bar.OverestimationPercent
+			} else {
+				off = bar.OverestimationPercent
+			}
+		}
+		fmt.Fprintf(&b, "%-24s %13.0f%% %13.0f%%\n", e.Label(), on, off)
+	}
+	return b.String()
+}
+
+// Fig9Bar is one bar of Figure 9: observed worst-case execution time
+// under a feature configuration, normalised to the baseline.
+type Fig9Bar struct {
+	Entry      EntryPoint
+	Config     string
+	Normalised float64
+}
+
+// Fig9Configs names the four feature configurations of Figure 9.
+var Fig9Configs = []struct {
+	Name string
+	HW   Hardware
+}{
+	{"Baseline", Hardware{}},
+	{"L2 enabled", Hardware{L2Enabled: true}},
+	{"B-pred enabled", Hardware{BranchPredictor: true}},
+	{"L2+B-pred enabled", Hardware{L2Enabled: true, BranchPredictor: true}},
+}
+
+// Fig9 reproduces Figure 9 (§6.4): the effect of enabling the L2
+// cache and/or the branch predictor on observed worst-case execution
+// times, each path normalised to its baseline time.
+func Fig9(runs int) ([]Fig9Bar, error) {
+	if runs <= 0 {
+		runs = DefaultRuns
+	}
+	im, err := BuildImage(Modern, false)
+	if err != nil {
+		return nil, err
+	}
+	var bars []Fig9Bar
+	for _, e := range EntryPoints() {
+		// The measured path is the baseline configuration's worst
+		// path, as in the paper's methodology.
+		bd, err := im.Analyze(Hardware{}, e)
+		if err != nil {
+			return nil, err
+		}
+		var baseline uint64
+		for _, cfg := range Fig9Configs {
+			obs := measure.Observe(im.Img, cfg.HW, bd.Result.Trace, runs)
+			if cfg.Name == "Baseline" {
+				baseline = obs.Max
+			}
+			bars = append(bars, Fig9Bar{
+				Entry:      e,
+				Config:     cfg.Name,
+				Normalised: float64(obs.Max) / float64(baseline),
+			})
+		}
+	}
+	return bars, nil
+}
+
+// FormatFig9 renders Figure 9's data series.
+func FormatFig9(bars []Fig9Bar) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: observed worst-case time by feature config (normalised to baseline)\n")
+	fmt.Fprintf(&b, "%-24s", "Path")
+	for _, cfg := range Fig9Configs {
+		fmt.Fprintf(&b, " %18s", cfg.Name)
+	}
+	fmt.Fprintln(&b)
+	for _, e := range EntryPoints() {
+		fmt.Fprintf(&b, "%-24s", e.Label())
+		for _, cfg := range Fig9Configs {
+			for _, bar := range bars {
+				if bar.Entry == e && bar.Config == cfg.Name {
+					fmt.Fprintf(&b, " %18.3f", bar.Normalised)
+				}
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Headline is the §6/§8 summary: the worst-case interrupt latency of
+// the modernised kernel (syscall bound + interrupt bound).
+type Headline struct {
+	SyscallCycles   uint64
+	InterruptCycles uint64
+	TotalCycles     uint64
+	TotalMicros     float64
+	L2Enabled       bool
+}
+
+// ComputeHeadline returns the worst-case interrupt latency under the
+// given L2 setting. The paper reports 189,117 cycles (356 µs) with the
+// L2 disabled and 481 µs with it enabled.
+func ComputeHeadline(l2 bool) (Headline, error) {
+	im, err := BuildImage(Modern, false)
+	if err != nil {
+		return Headline{}, err
+	}
+	hw := Hardware{L2Enabled: l2}
+	sys, err := im.Analyze(hw, Syscall)
+	if err != nil {
+		return Headline{}, err
+	}
+	irq, err := im.Analyze(hw, Interrupt)
+	if err != nil {
+		return Headline{}, err
+	}
+	total := sys.Cycles + irq.Cycles
+	return Headline{
+		SyscallCycles:   sys.Cycles,
+		InterruptCycles: irq.Cycles,
+		TotalCycles:     total,
+		TotalMicros:     arch.CyclesToMicros(total),
+		L2Enabled:       l2,
+	}, nil
+}
+
+// AnalysisTimes reproduces the §6.3 computation-time breakdown: the
+// wall time each entry point's analysis takes, dominated by the system
+// call handler.
+func AnalysisTimes() (map[EntryPoint]time.Duration, error) {
+	im, err := BuildImage(Modern, false)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[EntryPoint]time.Duration)
+	for _, e := range EntryPoints() {
+		bd, err := im.Analyze(Hardware{}, e)
+		if err != nil {
+			return nil, err
+		}
+		out[e] = bd.Result.AnalysisTime
+	}
+	return out, nil
+}
+
+// L2LockAblation is the §4/§6.4 future-work experiment: locking the
+// entire kernel text into the L2 cache.
+type L2LockAblation struct {
+	Entry          EntryPoint
+	PlainL2Cycles  uint64
+	LockedL2Cycles uint64
+	// ReductionPercent is how much the locked configuration cuts
+	// the L2-enabled bound.
+	ReductionPercent float64
+}
+
+// AblationL2Lock computes the bound per entry point with the L2
+// enabled, with and without the kernel locked into it. The paper
+// predicts a drastic reduction: instruction fetch misses are bounded
+// by the 26-cycle L2 hit instead of the 96-cycle memory access.
+func AblationL2Lock() ([]L2LockAblation, error) {
+	im, err := BuildImage(Modern, false)
+	if err != nil {
+		return nil, err
+	}
+	var out []L2LockAblation
+	for _, e := range EntryPoints() {
+		plain, err := im.Analyze(Hardware{L2Enabled: true}, e)
+		if err != nil {
+			return nil, err
+		}
+		locked, err := im.Analyze(Hardware{L2Enabled: true, L2LockedKernel: true}, e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, L2LockAblation{
+			Entry:            e,
+			PlainL2Cycles:    plain.Cycles,
+			LockedL2Cycles:   locked.Cycles,
+			ReductionPercent: 100 * (1 - float64(locked.Cycles)/float64(plain.Cycles)),
+		})
+	}
+	return out, nil
+}
+
+// ChunkAblationRow is one row of the §3.5 preemption-granularity
+// sweep.
+type ChunkAblationRow struct {
+	// ChunkBytes is the clearing granularity between preemption
+	// points.
+	ChunkBytes uint32
+	// WorstLatency is the worst interrupt latency while creating an
+	// address space plus a large frame under a periodic timer.
+	WorstLatency uint64
+	// TotalCycles is the workload's completion time (the throughput
+	// cost of finer preemption).
+	TotalCycles uint64
+}
+
+// AblationClearChunk sweeps the object-clearing preemption granularity
+// (§3.5). The paper fixed it at 1 KiB because the non-preemptible
+// kernel-window copy of page-directory creation costs a full 1 KiB
+// copy anyway: finer clearing chunks cannot lower the worst case until
+// that copy is made preemptible. The sweep shows the latency floor.
+func AblationClearChunk(chunks []uint32) ([]ChunkAblationRow, error) {
+	if len(chunks) == 0 {
+		chunks = []uint32{256, 512, 1024, 4096, 16384}
+	}
+	var rows []ChunkAblationRow
+	for _, c := range chunks {
+		cfg := ModernKernel()
+		cfg.ClearChunkBytes = c
+		sys, err := Boot(cfg)
+		if err != nil {
+			return nil, err
+		}
+		adv, err := sys.CreateThread("adv", 50)
+		if err != nil {
+			return nil, err
+		}
+		sys.StartThread(adv)
+		start := sys.Now()
+		sys.SetPeriodicTimer(15_000)
+		// The workload mixes the preemptible clear (a 1 MiB
+		// frame) with page-directory creation, whose kernel-
+		// window copy is the non-preemptible floor.
+		if _, err := sys.CreateObjects(adv, TypeFrame, 20, 1); err != nil {
+			return nil, err
+		}
+		if _, err := sys.CreateObjects(adv, TypePageDirectory, 0, 1); err != nil {
+			return nil, err
+		}
+		if err := sys.InvariantFailure(); err != nil {
+			return nil, err
+		}
+		rows = append(rows, ChunkAblationRow{
+			ChunkBytes:   c,
+			WorstLatency: sys.MaxLatency(),
+			TotalCycles:  sys.Now() - start,
+		})
+	}
+	return rows, nil
+}
+
+// TCMAblation compares the three §4/§5.1 latency-hiding mechanisms on
+// the interrupt path: nothing, L1 way-locking (pinning), and
+// tightly-coupled memory.
+type TCMAblation struct {
+	BaselineCycles uint64
+	PinnedCycles   uint64
+	TCMCycles      uint64
+}
+
+// AblationTCM computes the interrupt-path bound under the three
+// mechanisms. TCM wins: its accesses are single-cycle by construction,
+// where pinned lines still pay cache-hit timing — but it requires the
+// code-placement control the paper's pinning approach avoided.
+func AblationTCM() (TCMAblation, error) {
+	var out TCMAblation
+	plain, err := BuildImage(Modern, false)
+	if err != nil {
+		return out, err
+	}
+	base, err := plain.Analyze(Hardware{}, Interrupt)
+	if err != nil {
+		return out, err
+	}
+	out.BaselineCycles = base.Cycles
+
+	pinned, err := BuildImage(Modern, true)
+	if err != nil {
+		return out, err
+	}
+	pb, err := pinned.Analyze(Hardware{PinnedL1Ways: 1}, Interrupt)
+	if err != nil {
+		return out, err
+	}
+	out.PinnedCycles = pb.Cycles
+
+	tcmImg, tcmCons, err := kbin.Build(kbin.Options{Modernised: true, TCM: true})
+	if err != nil {
+		return out, err
+	}
+	itcm, dtcm, err := kbin.TCMConfig(tcmImg)
+	if err != nil {
+		return out, err
+	}
+	a := wcet.New(tcmImg, Hardware{TCMEnabled: true, ITCMBase: itcm, DTCMBase: dtcm})
+	a.AddConstraints(tcmCons...)
+	tb, err := a.Analyze(string(Interrupt))
+	if err != nil {
+		return out, err
+	}
+	out.TCMCycles = tb.Cycles
+	return out, nil
+}
+
+// FastpathCycles measures a warm IPC fastpath round on the functional
+// kernel — the paper's 200–250 cycle figure (§6.1). It returns the
+// kernel-cycle cost of one fastpath send.
+func FastpathCycles() (uint64, error) {
+	sys, err := Boot(ModernKernel())
+	if err != nil {
+		return 0, err
+	}
+	server, err := sys.CreateThread("server", 200)
+	if err != nil {
+		return 0, err
+	}
+	sys.StartThread(server)
+	client, err := sys.CreateThread("client", 100)
+	if err != nil {
+		return 0, err
+	}
+	sys.StartThread(client)
+	eps, err := sys.CreateObjects(client, TypeEndpoint, 0, 1)
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.Recv(server, eps[0]); err != nil {
+		return 0, err
+	}
+	before := sys.Now()
+	if err := sys.Send(client, eps[0], 2, nil, false); err != nil {
+		return 0, err
+	}
+	return sys.Now() - before, nil
+}
+
+// machineFor builds a machine configured like hw with the image's pin
+// set applied, for ad-hoc exploration from cmd tools.
+func machineFor(im *Image, hw Hardware) *machine.Machine {
+	m := machine.New(hw)
+	m.LoadImage(im.Img)
+	return m
+}

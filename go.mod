@@ -1,0 +1,3 @@
+module verikern
+
+go 1.22

@@ -1,0 +1,75 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheGeometry(t *testing.T) {
+	if got := L1IGeometry.Sets(); got != 128 {
+		t.Errorf("L1I sets = %d, want 128", got)
+	}
+	if got := L1IGeometry.WaySizeBytes(); got != 4096 {
+		t.Errorf("L1I way size = %d, want 4096", got)
+	}
+	if got := L2Geometry.Sets(); got != 512 {
+		t.Errorf("L2 sets = %d, want 512", got)
+	}
+	if got := L2Geometry.WaySizeBytes(); got != 16384 {
+		t.Errorf("L2 way size = %d, want 16 KiB", got)
+	}
+}
+
+func TestMemLatencyBySetting(t *testing.T) {
+	if got := (Config{}).MemLatency(); got != LatencyMemL2Off {
+		t.Errorf("L2-off latency %d, want %d", got, LatencyMemL2Off)
+	}
+	if got := (Config{L2Enabled: true}).MemLatency(); got != LatencyMemL2On {
+		t.Errorf("L2-on latency %d, want %d", got, LatencyMemL2On)
+	}
+}
+
+func TestCyclesToMicros(t *testing.T) {
+	// 532 cycles = 1 µs on the 532 MHz clock.
+	if got := CyclesToMicros(532_000_000); got != 1e6 {
+		t.Errorf("one second = %v µs", got)
+	}
+	if got := CyclesToMicros(0); got != 0 {
+		t.Errorf("zero cycles = %v µs", got)
+	}
+}
+
+func TestBaseCostsPositive(t *testing.T) {
+	for c := Class(0); c < Class(NumClasses); c++ {
+		if c == Branch {
+			if BaseCost(c) != 0 {
+				t.Error("branch base cost must defer to the predictor model")
+			}
+			continue
+		}
+		if BaseCost(c) == 0 {
+			t.Errorf("class %v has zero base cost", c)
+		}
+		if c.String() == "unknown" {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+}
+
+// Property: every class's base cost is bounded by the system-op cost —
+// no ALU-class instruction can dominate a memory access.
+func TestPropertyBaseCostsBounded(t *testing.T) {
+	f := func(b uint8) bool {
+		c := Class(b % uint8(NumClasses))
+		return BaseCost(c) <= CostSystem
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelWindowConstant(t *testing.T) {
+	if KernelWindowBytes != 1024 {
+		t.Errorf("kernel window %d bytes, want the paper's 1 KiB", KernelWindowBytes)
+	}
+}

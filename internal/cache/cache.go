@@ -1,0 +1,323 @@
+// Package cache models the set-associative caches of the simulated
+// platform: the split 4-way L1 caches and the unified 8-way L2 of the
+// ARM1136 (§5.1 of the paper). It supports the replacement policies the
+// hardware offers (round-robin and pseudo-random), way-locking for
+// cache pinning (§4), dirty-line tracking for write-back cost, and an
+// abstract "must" cache used by the static analyser's conservative
+// direct-mapped approximation.
+package cache
+
+import "fmt"
+
+// Policy selects the replacement policy of a concrete cache.
+type Policy uint8
+
+// Replacement policies supported by the ARM1136 caches.
+const (
+	// RoundRobin cycles the victim way per set.
+	RoundRobin Policy = iota
+	// PseudoRandom picks the victim way from a small LFSR, as the
+	// hardware's pseudo-random mode does.
+	PseudoRandom
+	// LRU evicts the least recently used way. The ARM1136 does not
+	// implement LRU; it is provided as a reference policy for tests.
+	LRU
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case PseudoRandom:
+		return "pseudo-random"
+	case LRU:
+		return "lru"
+	default:
+		return "unknown"
+	}
+}
+
+// Config describes a concrete cache instance.
+type Config struct {
+	// Sets is the number of cache sets; must be a power of two.
+	Sets int
+	// Ways is the associativity.
+	Ways int
+	// LineBytes is the line size; must be a power of two.
+	LineBytes int
+	// Policy is the replacement policy.
+	Policy Policy
+	// LockedWays reserves the first LockedWays ways of every set
+	// for pinned lines: replacement never selects them, so lines
+	// installed there by Pin stay resident forever (§4).
+	LockedWays int
+}
+
+// SizeBytes returns the total cache capacity.
+func (c Config) SizeBytes() int { return c.Sets * c.Ways * c.LineBytes }
+
+func (c Config) validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache: sets must be a positive power of two, got %d", c.Sets)
+	}
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size must be a positive power of two, got %d", c.LineBytes)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache: ways must be positive, got %d", c.Ways)
+	}
+	if c.LockedWays < 0 || c.LockedWays >= c.Ways {
+		return fmt.Errorf("cache: locked ways must be in [0,%d), got %d", c.Ways, c.LockedWays)
+	}
+	return nil
+}
+
+type line struct {
+	valid  bool
+	dirty  bool
+	pinned bool
+	tag    uint32
+}
+
+// Cache is a concrete set-associative cache. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	cfg        Config
+	lines      []line // sets * ways, way-major within a set
+	rrNext     []int  // round-robin victim pointer per set
+	lfsr       uint32 // pseudo-random replacement state
+	lineShift  uint
+	setMask    uint32
+	hits       uint64
+	misses     uint64
+	writebacks uint64
+}
+
+// New constructs a cache. It panics if the configuration is invalid;
+// configurations are static platform descriptions, so an invalid one is
+// a programming error.
+func New(cfg Config) *Cache {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{
+		cfg:    cfg,
+		lines:  make([]line, cfg.Sets*cfg.Ways),
+		rrNext: make([]int, cfg.Sets),
+		lfsr:   0xACE1,
+	}
+	c.lineShift = uint(log2(cfg.LineBytes))
+	c.setMask = uint32(cfg.Sets - 1)
+	for s := range c.rrNext {
+		c.rrNext[s] = cfg.LockedWays
+	}
+	return c
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Set returns the set index for an address.
+func (c *Cache) Set(addr uint32) int {
+	return int((addr >> c.lineShift) & c.setMask)
+}
+
+// Tag returns the tag for an address.
+func (c *Cache) Tag(addr uint32) uint32 {
+	return addr >> (c.lineShift + uint(log2(c.cfg.Sets)))
+}
+
+// Result describes the outcome of a cache access.
+type Result struct {
+	// Hit reports whether the line was resident.
+	Hit bool
+	// Writeback reports whether a dirty line was evicted to make
+	// room for the new line.
+	Writeback bool
+}
+
+// Access looks up addr, allocating the line on a miss. write marks the
+// line dirty. It returns whether the access hit and whether the
+// allocation evicted a dirty line.
+func (c *Cache) Access(addr uint32, write bool) Result {
+	set := c.Set(addr)
+	tag := c.Tag(addr)
+	base := set * c.cfg.Ways
+	ways := c.lines[base : base+c.cfg.Ways]
+
+	for w := range ways {
+		if ways[w].valid && ways[w].tag == tag {
+			c.hits++
+			if write {
+				ways[w].dirty = true
+			}
+			if c.cfg.Policy == LRU {
+				c.touchLRU(ways, w)
+			}
+			return Result{Hit: true}
+		}
+	}
+
+	c.misses++
+	victim := c.victim(set, ways)
+	wb := ways[victim].valid && ways[victim].dirty
+	if wb {
+		c.writebacks++
+	}
+	ways[victim] = line{valid: true, dirty: write, tag: tag}
+	if c.cfg.Policy == LRU {
+		c.touchLRU(ways, victim)
+	}
+	return Result{Hit: false, Writeback: wb}
+}
+
+// touchLRU moves way w to the most-recently-used position (the end of
+// the unlocked region). LRU order is encoded by position: lower
+// unlocked indices are older.
+func (c *Cache) touchLRU(ways []line, w int) {
+	if w < c.cfg.LockedWays {
+		return
+	}
+	l := ways[w]
+	copy(ways[w:], ways[w+1:])
+	ways[len(ways)-1] = l
+}
+
+// victim selects the way to replace in set. Locked ways are never
+// selected.
+func (c *Cache) victim(set int, ways []line) int {
+	lo := c.cfg.LockedWays
+	n := c.cfg.Ways - lo
+	// Prefer an invalid unlocked way.
+	for w := lo; w < c.cfg.Ways; w++ {
+		if !ways[w].valid {
+			return w
+		}
+	}
+	switch c.cfg.Policy {
+	case RoundRobin:
+		v := c.rrNext[set]
+		if v < lo || v >= c.cfg.Ways {
+			v = lo
+		}
+		next := v + 1
+		if next >= c.cfg.Ways {
+			next = lo
+		}
+		c.rrNext[set] = next
+		return v
+	case PseudoRandom:
+		// 16-bit Fibonacci LFSR, as a stand-in for the
+		// hardware's pseudo-random replacement source.
+		bit := ((c.lfsr >> 0) ^ (c.lfsr >> 2) ^ (c.lfsr >> 3) ^ (c.lfsr >> 5)) & 1
+		c.lfsr = (c.lfsr >> 1) | (bit << 15)
+		return lo + int(c.lfsr)%n
+	case LRU:
+		return lo // oldest unlocked position
+	default:
+		return lo
+	}
+}
+
+// Pin installs addr's line into a locked way of its set and marks it
+// pinned. It reports false if the set has no locked ways or all locked
+// ways in the set are already pinned to other lines (the pin set does
+// not fit). Pinning an already pinned line succeeds.
+func (c *Cache) Pin(addr uint32) bool {
+	if c.cfg.LockedWays == 0 {
+		return false
+	}
+	set := c.Set(addr)
+	tag := c.Tag(addr)
+	base := set * c.cfg.Ways
+	ways := c.lines[base : base+c.cfg.Ways]
+	for w := 0; w < c.cfg.LockedWays; w++ {
+		if ways[w].valid && ways[w].pinned && ways[w].tag == tag {
+			return true
+		}
+	}
+	for w := 0; w < c.cfg.LockedWays; w++ {
+		if !ways[w].valid || !ways[w].pinned {
+			ways[w] = line{valid: true, pinned: true, tag: tag}
+			return true
+		}
+	}
+	return false
+}
+
+// Pinned reports whether addr's line is currently pinned.
+func (c *Cache) Pinned(addr uint32) bool {
+	set := c.Set(addr)
+	tag := c.Tag(addr)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.LockedWays; w++ {
+		l := c.lines[base+w]
+		if l.valid && l.pinned && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether addr's line is resident (pinned or not).
+func (c *Cache) Contains(addr uint32) bool {
+	set := c.Set(addr)
+	tag := c.Tag(addr)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		l := c.lines[base+w]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll drops every non-pinned line without writeback (as after
+// a cache-clean-and-invalidate maintenance operation).
+func (c *Cache) InvalidateAll() {
+	for i := range c.lines {
+		if !c.lines[i].pinned {
+			c.lines[i] = line{}
+		}
+	}
+}
+
+// Pollute fills every non-pinned way of every set with distinct dirty
+// lines, the worst possible starting state for a measurement run
+// (§5.4: "test programs pollute both the instruction and data caches
+// with dirty cache lines"). The tag space used is derived from seed so
+// different runs start from different (but always conflicting) states.
+func (c *Cache) Pollute(seed uint32) {
+	tagBase := 0x40000 | (seed & 0xFFFF)
+	for s := 0; s < c.cfg.Sets; s++ {
+		base := s * c.cfg.Ways
+		for w := c.cfg.LockedWays; w < c.cfg.Ways; w++ {
+			c.lines[base+w] = line{
+				valid: true,
+				dirty: true,
+				tag:   tagBase + uint32(w)<<20,
+			}
+		}
+	}
+}
+
+// Stats reports accumulated hit/miss/writeback counters.
+func (c *Cache) Stats() (hits, misses, writebacks uint64) {
+	return c.hits, c.misses, c.writebacks
+}
+
+// ResetStats zeroes the counters without touching cache contents.
+func (c *Cache) ResetStats() {
+	c.hits, c.misses, c.writebacks = 0, 0, 0
+}

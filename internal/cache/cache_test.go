@@ -1,0 +1,377 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testConfig(policy Policy, lockedWays int) Config {
+	return Config{Sets: 128, Ways: 4, LineBytes: 32, Policy: policy, LockedWays: lockedWays}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{Sets: 0, Ways: 4, LineBytes: 32},
+		{Sets: 100, Ways: 4, LineBytes: 32},
+		{Sets: 128, Ways: 0, LineBytes: 32},
+		{Sets: 128, Ways: 4, LineBytes: 33},
+		{Sets: 128, Ways: 4, LineBytes: 32, LockedWays: 4},
+		{Sets: 128, Ways: 4, LineBytes: 32, LockedWays: -1},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	cfg := testConfig(RoundRobin, 0)
+	if got, want := cfg.SizeBytes(), 16*1024; got != want {
+		t.Errorf("SizeBytes() = %d, want %d", got, want)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := New(testConfig(RoundRobin, 0))
+	if r := c.Access(0x1000, false); r.Hit {
+		t.Error("first access hit an empty cache")
+	}
+	if r := c.Access(0x1000, false); !r.Hit {
+		t.Error("second access to same line missed")
+	}
+	// Same line, different word.
+	if r := c.Access(0x101C, false); !r.Hit {
+		t.Error("access to same line, different offset missed")
+	}
+	// Different line.
+	if r := c.Access(0x1020, false); r.Hit {
+		t.Error("access to next line hit")
+	}
+}
+
+func TestAssociativityHoldsConflicts(t *testing.T) {
+	// 4 ways: 4 conflicting lines all fit, the 5th evicts one.
+	c := New(testConfig(RoundRobin, 0))
+	stride := uint32(128 * 32) // maps to the same set
+	for i := uint32(0); i < 4; i++ {
+		c.Access(0x1000+i*stride, false)
+	}
+	for i := uint32(0); i < 4; i++ {
+		if r := c.Access(0x1000+i*stride, false); !r.Hit {
+			t.Errorf("way %d evicted though set not full", i)
+		}
+	}
+	c.Access(0x1000+4*stride, false) // evicts exactly one
+	hits := 0
+	for i := uint32(0); i < 5; i++ {
+		if c.Contains(0x1000 + i*stride) {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Errorf("after 5th conflicting access, %d lines resident, want 4", hits)
+	}
+}
+
+func TestRoundRobinVictimOrder(t *testing.T) {
+	c := New(testConfig(RoundRobin, 0))
+	stride := uint32(128 * 32)
+	for i := uint32(0); i < 4; i++ {
+		c.Access(uint32(0x1000)+i*stride, false)
+	}
+	// Round-robin starts at way 0: line 0 is the first victim.
+	c.Access(0x1000+4*stride, false)
+	if c.Contains(0x1000) {
+		t.Error("round-robin did not evict the way-0 line first")
+	}
+	c.Access(0x1000+5*stride, false)
+	if c.Contains(0x1000 + 1*stride) {
+		t.Error("round-robin did not evict the way-1 line second")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	c := New(Config{Sets: 1, Ways: 1, LineBytes: 32, Policy: RoundRobin})
+	if r := c.Access(0x0, true); r.Writeback {
+		t.Error("filling an empty cache reported a writeback")
+	}
+	if r := c.Access(0x20, false); !r.Writeback {
+		t.Error("evicting a dirty line did not report a writeback")
+	}
+	if r := c.Access(0x40, false); r.Writeback {
+		t.Error("evicting a clean line reported a writeback")
+	}
+	_, _, wb := c.Stats()
+	if wb != 1 {
+		t.Errorf("writebacks = %d, want 1", wb)
+	}
+}
+
+func TestPinSurvivesConflicts(t *testing.T) {
+	c := New(testConfig(RoundRobin, 1))
+	if !c.Pin(0x1000) {
+		t.Fatal("Pin failed with a locked way available")
+	}
+	stride := uint32(128 * 32)
+	// Hammer the same set with far more lines than ways.
+	for i := uint32(1); i <= 64; i++ {
+		c.Access(0x1000+i*stride, true)
+	}
+	if !c.Pinned(0x1000) {
+		t.Error("pinned line was evicted by conflicting accesses")
+	}
+	if r := c.Access(0x1000, false); !r.Hit {
+		t.Error("access to pinned line missed")
+	}
+}
+
+func TestPinCapacity(t *testing.T) {
+	c := New(testConfig(RoundRobin, 1))
+	stride := uint32(128 * 32)
+	if !c.Pin(0x1000) {
+		t.Fatal("first pin failed")
+	}
+	if !c.Pin(0x1000) {
+		t.Error("re-pinning the same line failed")
+	}
+	if c.Pin(0x1000 + stride) {
+		t.Error("pinning a second conflicting line succeeded with 1 locked way")
+	}
+	// A different set still has room.
+	if !c.Pin(0x1020) {
+		t.Error("pin to a different set failed")
+	}
+}
+
+func TestPinWithoutLockedWays(t *testing.T) {
+	c := New(testConfig(RoundRobin, 0))
+	if c.Pin(0x1000) {
+		t.Error("Pin succeeded with no locked ways")
+	}
+}
+
+func TestPolluteFillsCache(t *testing.T) {
+	c := New(testConfig(RoundRobin, 0))
+	c.Pollute(42)
+	// Every subsequent distinct access must miss and evict dirty data.
+	r := c.Access(0x1000, false)
+	if r.Hit {
+		t.Error("access hit immediately after pollution")
+	}
+	if !r.Writeback {
+		t.Error("pollution did not install dirty lines")
+	}
+}
+
+func TestPollutePreservesPins(t *testing.T) {
+	c := New(testConfig(RoundRobin, 1))
+	c.Pin(0x1000)
+	c.Pollute(7)
+	if !c.Pinned(0x1000) {
+		t.Error("pollution evicted a pinned line")
+	}
+}
+
+func TestInvalidateAllPreservesPins(t *testing.T) {
+	c := New(testConfig(RoundRobin, 1))
+	c.Pin(0x1000)
+	c.Access(0x2000, false)
+	c.InvalidateAll()
+	if c.Contains(0x2000) {
+		t.Error("InvalidateAll left a non-pinned line resident")
+	}
+	if !c.Pinned(0x1000) {
+		t.Error("InvalidateAll dropped a pinned line")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(testConfig(LRU, 0))
+	stride := uint32(128 * 32)
+	for i := uint32(0); i < 4; i++ {
+		c.Access(0x1000+i*stride, false)
+	}
+	// Touch line 0 so line 1 becomes LRU.
+	c.Access(0x1000, false)
+	c.Access(0x1000+4*stride, false)
+	if !c.Contains(0x1000) {
+		t.Error("LRU evicted the most recently used line")
+	}
+	if c.Contains(0x1000 + stride) {
+		t.Error("LRU did not evict the least recently used line")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	c := New(testConfig(RoundRobin, 0))
+	c.Access(0x0, false)
+	c.Access(0x0, false)
+	c.Access(0x20, false)
+	h, m, _ := c.Stats()
+	if h != 1 || m != 2 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 2)", h, m)
+	}
+	c.ResetStats()
+	h, m, _ = c.Stats()
+	if h != 0 || m != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+// Property: immediately re-accessing any address hits, under any policy.
+func TestPropertyRepeatAccessHits(t *testing.T) {
+	for _, p := range []Policy{RoundRobin, PseudoRandom, LRU} {
+		c := New(testConfig(p, 0))
+		f := func(addr uint32) bool {
+			c.Access(addr, false)
+			return c.Access(addr, false).Hit
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("policy %v: %v", p, err)
+		}
+	}
+}
+
+// Property: the number of resident lines per set never exceeds the
+// associativity; equivalently Contains is consistent with a bounded set.
+func TestPropertySetOccupancyBounded(t *testing.T) {
+	c := New(Config{Sets: 4, Ways: 2, LineBytes: 32, Policy: PseudoRandom})
+	seen := make(map[uint32]bool)
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			c.Access(a, a%3 == 0)
+			seen[a&^31] = true
+		}
+		// Count resident lines per set.
+		occ := make(map[int]int)
+		for la := range seen {
+			if c.Contains(la) {
+				occ[c.Set(la)]++
+			}
+		}
+		for _, n := range occ {
+			if n > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a concrete cache is never less capable than the abstract
+// must-cache — whenever Must guarantees a hit, the concrete LRU cache
+// hits. This is the soundness relation the analyser relies on (§5.1).
+func TestPropertyMustAnalysisSound(t *testing.T) {
+	for _, p := range []Policy{RoundRobin, PseudoRandom, LRU} {
+		c := New(testConfig(p, 0))
+		m := NewMust(128, 32)
+		f := func(addrs []uint32) bool {
+			for _, a := range addrs {
+				if m.Hit(a) && !c.Access(a, false).Hit {
+					return false
+				}
+				if !m.Hit(a) {
+					c.Access(a, false)
+				}
+				m.Update(a)
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("policy %v: must-analysis unsound: %v", p, err)
+		}
+	}
+}
+
+func TestMustBasics(t *testing.T) {
+	m := NewMust(128, 32)
+	if m.Hit(0x1000) {
+		t.Error("empty must-cache guaranteed a hit")
+	}
+	m.Update(0x1000)
+	if !m.Hit(0x1000) {
+		t.Error("must-cache lost an update")
+	}
+	if !m.Hit(0x101C) {
+		t.Error("must-cache missed same-line offset")
+	}
+	// A conflicting access destroys the guarantee (direct-mapped model).
+	m.Update(0x1000 + 128*32)
+	if m.Hit(0x1000) {
+		t.Error("must-cache kept guarantee across set conflict")
+	}
+}
+
+func TestMustJoinIntersects(t *testing.T) {
+	a := NewMust(128, 32)
+	b := NewMust(128, 32)
+	// 0x1000, 0x1020, 0x1040 map to distinct sets.
+	a.Update(0x1000)
+	a.Update(0x1020)
+	b.Update(0x1000)
+	b.Update(0x1040)
+	changed := a.Join(b)
+	if !changed {
+		t.Error("join of differing states reported no change")
+	}
+	if !a.Hit(0x1000) {
+		t.Error("join dropped a shared guarantee")
+	}
+	if a.Hit(0x1020) {
+		t.Error("join kept a one-sided guarantee")
+	}
+	if a.Join(b.Clone()) {
+		t.Error("second identical join reported change")
+	}
+}
+
+func TestMustPinnedAlwaysHit(t *testing.T) {
+	m := NewMust(128, 32)
+	m.SetPinned(map[uint32]bool{0x1000: true})
+	if !m.Hit(0x1008) {
+		t.Error("pinned line not guaranteed hit")
+	}
+	m.ClobberAll()
+	if !m.Hit(0x1000) {
+		t.Error("ClobberAll dropped a pinned guarantee")
+	}
+	// Updates to pinned lines must not occupy set entries.
+	m.Update(0x1000)
+	if m.Hit(0x1000 + 128*32) {
+		t.Error("unrelated address hit")
+	}
+}
+
+func TestMustClobber(t *testing.T) {
+	m := NewMust(128, 32)
+	m.Update(0x1000)
+	m.Clobber(0x1000 + 128*32) // same set
+	if m.Hit(0x1000) {
+		t.Error("Clobber left guarantee in place")
+	}
+}
+
+func TestMustCloneIndependent(t *testing.T) {
+	m := NewMust(128, 32)
+	m.Update(0x1000)
+	c := m.Clone()
+	if !c.Equal(m) {
+		t.Error("clone not equal to original")
+	}
+	c.Update(0x1000 + 128*32)
+	if m.Hit(0x1000+128*32) || !m.Hit(0x1000) {
+		t.Error("mutating clone affected original")
+	}
+	if c.Equal(m) {
+		t.Error("diverged states compare equal")
+	}
+}

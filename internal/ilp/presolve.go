@@ -1,0 +1,137 @@
+package ilp
+
+import "math"
+
+// Presolve simplifies a problem in place before the simplex sees it,
+// the way production solvers trim IPET problems: variables forced to
+// zero by `x <= 0` bounds are eliminated from every constraint,
+// constraints that become empty are dropped (or reported infeasible if
+// unsatisfiable), and duplicate single-variable upper bounds are
+// merged. It returns the number of variables fixed at zero and an
+// Infeasible status when a contradiction is already visible.
+//
+// Presolve never removes variables (indices must stay stable for the
+// caller); fixed variables keep their column but no longer appear in
+// any constraint and have their objective coefficient zeroed, so the
+// simplex leaves them at zero.
+func Presolve(p *Problem) (fixedZero int, status Status) {
+	n := p.NumVars()
+	zero := make([]bool, n)
+
+	// Pass 1: find x_v <= b with b <= 0 (and x >= 0 implicit):
+	// x_v = 0. Also detect immediate contradictions x_v >= b with
+	// b > 0 combined with x_v <= 0.
+	lower := make([]float64, n) // best known lower bound (>= 0)
+	upper := make([]float64, n)
+	for i := range upper {
+		upper[i] = math.Inf(1)
+	}
+	for _, c := range p.cons {
+		// A sum of non-negatively weighted variables bounded above
+		// by zero forces every participant to zero — the shape an
+		// "executes at most 0 times" IPET constraint takes.
+		if len(c.Coeffs) > 1 && c.Sense != GE && c.RHS <= tol {
+			allPos := true
+			for _, coeff := range c.Coeffs {
+				if coeff <= 0 {
+					allPos = false
+					break
+				}
+			}
+			if allPos && c.RHS < -tol {
+				return 0, Infeasible
+			}
+			if allPos {
+				for v := range c.Coeffs {
+					upper[v] = 0
+				}
+				continue
+			}
+		}
+		if len(c.Coeffs) != 1 {
+			continue
+		}
+		for v, coeff := range c.Coeffs {
+			if coeff == 0 {
+				continue
+			}
+			bound := c.RHS / coeff
+			switch {
+			case c.Sense == LE && coeff > 0, c.Sense == GE && coeff < 0:
+				if bound < upper[v] {
+					upper[v] = bound
+				}
+			case c.Sense == GE && coeff > 0, c.Sense == LE && coeff < 0:
+				if bound > lower[v] {
+					lower[v] = bound
+				}
+			case c.Sense == EQ:
+				if bound < upper[v] {
+					upper[v] = bound
+				}
+				if bound > lower[v] {
+					lower[v] = bound
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if upper[v] < -tol || lower[v] > upper[v]+tol {
+			return 0, Infeasible
+		}
+		if upper[v] <= tol {
+			zero[v] = true
+			fixedZero++
+		}
+	}
+	if fixedZero == 0 {
+		return 0, Optimal
+	}
+
+	// Pass 2: substitute the zeros out.
+	var kept []Constraint
+	for _, c := range p.cons {
+		changed := false
+		for v := range c.Coeffs {
+			if zero[v] {
+				changed = true
+				break
+			}
+		}
+		if changed {
+			nc := Constraint{Coeffs: make(map[int]float64, len(c.Coeffs)), Sense: c.Sense, RHS: c.RHS, Label: c.Label}
+			for v, coeff := range c.Coeffs {
+				if !zero[v] {
+					nc.Coeffs[v] = coeff
+				}
+			}
+			c = nc
+		}
+		if len(c.Coeffs) == 0 {
+			// Constant constraint: check satisfiability, drop.
+			switch c.Sense {
+			case LE:
+				if 0 > c.RHS+tol {
+					return fixedZero, Infeasible
+				}
+			case GE:
+				if 0 < c.RHS-tol {
+					return fixedZero, Infeasible
+				}
+			case EQ:
+				if math.Abs(c.RHS) > tol {
+					return fixedZero, Infeasible
+				}
+			}
+			continue
+		}
+		kept = append(kept, c)
+	}
+	p.cons = kept
+	for v := 0; v < n; v++ {
+		if zero[v] {
+			p.objective[v] = 0
+		}
+	}
+	return fixedZero, Optimal
+}

@@ -1,0 +1,167 @@
+package kernel
+
+import (
+	"testing"
+
+	"verikern/internal/kobj"
+)
+
+// Error-path coverage: every system call must reject malformed
+// requests cleanly, leave the kernel consistent, and still charge the
+// failed kernel round trip.
+
+func TestDecodeFailureChargesRoundTrip(t *testing.T) {
+	k := boot(t, Modern())
+	a := mustThread(t, k, "a", 100)
+	before := k.Now()
+	if err := k.Send(a, 0xDEAD, 1, nil, false); err == nil {
+		t.Fatal("send through empty slot succeeded")
+	}
+	if k.Now() == before {
+		t.Error("failed decode charged no cycles")
+	}
+	assertClean(t, k)
+}
+
+func TestTypeConfusedInvocations(t *testing.T) {
+	k := boot(t, Modern())
+	a := mustThread(t, k, "a", 100)
+	ep := mustEndpoint(t, k, a)
+	tcbAddrs, err := k.CreateObjects(a, kobj.TypeTCB, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcb := tcbAddrs[0]
+
+	if err := k.Send(a, tcb, 1, nil, false); err == nil {
+		t.Error("send on TCB cap succeeded")
+	}
+	if err := k.Recv(a, tcb); err == nil {
+		t.Error("recv on TCB cap succeeded")
+	}
+	if err := k.ReplyRecv(a, tcb); err == nil {
+		t.Error("replyrecv on TCB cap succeeded")
+	}
+	if err := k.RevokeBadge(a, tcb, 1); err == nil {
+		t.Error("badge revoke on TCB cap succeeded")
+	}
+	if _, err := k.MintBadgedCap(a, tcb, 1); err == nil {
+		t.Error("mint from TCB cap succeeded")
+	}
+	if err := k.AssignVSpace(a, ep); err == nil {
+		t.Error("vspace assign of endpoint cap succeeded")
+	}
+	if err := k.MapPageTable(a, ep, 0); err == nil {
+		t.Error("page-table map of endpoint cap succeeded")
+	}
+	if err := k.MapFrame(a, ep, 0); err == nil {
+		t.Error("frame map of endpoint cap succeeded")
+	}
+	if err := k.DeleteVSpace(a, ep); err == nil {
+		t.Error("vspace delete of endpoint cap succeeded")
+	}
+	assertClean(t, k)
+}
+
+func TestSendWithBadTransferCap(t *testing.T) {
+	k := boot(t, Modern())
+	a := mustThread(t, k, "a", 100)
+	ep := mustEndpoint(t, k, a)
+	if err := k.Send(a, ep, 1, []uint32{0xBEEF}, false); err == nil {
+		t.Error("send transferring an unresolvable cap succeeded")
+	}
+	assertClean(t, k)
+}
+
+func TestCreateObjectsInvalidParams(t *testing.T) {
+	k := boot(t, Modern())
+	a := mustThread(t, k, "a", 100)
+	if _, err := k.CreateObjects(a, kobj.TypeFrame, 2, 1); err == nil {
+		t.Error("invalid frame size accepted")
+	}
+	if _, err := k.CreateObjects(a, kobj.TypeEndpoint, 0, 0); err == nil {
+		t.Error("zero count accepted")
+	}
+	assertClean(t, k)
+}
+
+func TestCreateObjectsExhaustion(t *testing.T) {
+	k := boot(t, Modern())
+	a := mustThread(t, k, "a", 100)
+	// The boot untyped is 64 MiB; four 16 MiB frames exhaust it
+	// (some is used by boot structures, so the fourth fails).
+	var err error
+	for i := 0; i < 4 && err == nil; i++ {
+		_, err = k.CreateObjects(a, kobj.TypeFrame, 24, 1)
+	}
+	if err == nil {
+		t.Error("untyped exhaustion never reported")
+	}
+	assertClean(t, k)
+}
+
+func TestMapFrameWithoutVSpace(t *testing.T) {
+	k := boot(t, Modern())
+	a := mustThread(t, k, "a", 100)
+	fr, err := k.CreateObjects(a, kobj.TypeFrame, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.MapFrame(a, fr[0], 64<<20); err == nil {
+		t.Error("frame map without an assigned vspace succeeded")
+	}
+	assertClean(t, k)
+}
+
+func TestDeleteCapNonFinalKeepsObject(t *testing.T) {
+	k := boot(t, Modern())
+	a := mustThread(t, k, "a", 100)
+	ep := mustEndpoint(t, k, a)
+	cp, err := k.CopyCap(a, ep, kobj.RightsAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epSlot, _, _ := k.decodeCap(a, ep)
+	obj := epSlot.Cap.Endpoint()
+	// Delete the copy: the object must survive (not final).
+	if err := k.DeleteCap(a, cp); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Destroyed {
+		t.Error("object destroyed while a cap remains")
+	}
+	// Delete the final cap: now it goes.
+	if err := k.DeleteCap(a, ep); err != nil {
+		t.Fatal(err)
+	}
+	if !obj.Destroyed {
+		t.Error("final delete did not destroy the object")
+	}
+	assertClean(t, k)
+}
+
+func TestDeleteCapEmptySlotIdempotent(t *testing.T) {
+	k := boot(t, Modern())
+	a := mustThread(t, k, "a", 100)
+	ep := mustEndpoint(t, k, a)
+	if err := k.DeleteCap(a, ep); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting again resolves to an empty slot — an error from the
+	// decode layer, not a crash.
+	if err := k.DeleteCap(a, ep); err == nil {
+		t.Error("second delete of the same cap address succeeded")
+	}
+	assertClean(t, k)
+}
+
+func TestCopyMoveErrorPaths(t *testing.T) {
+	k := boot(t, Modern())
+	a := mustThread(t, k, "a", 100)
+	if _, err := k.CopyCap(a, 0x7777, kobj.RightsAll); err == nil {
+		t.Error("copy from unresolvable address succeeded")
+	}
+	if _, err := k.MoveCap(a, 0x7777); err == nil {
+		t.Error("move from unresolvable address succeeded")
+	}
+}

@@ -1,0 +1,314 @@
+package kernel
+
+import (
+	"testing"
+
+	"verikern/internal/kobj"
+)
+
+// mustNotification creates a notification object via the kernel API
+// and returns its cap address.
+func mustNotification(t *testing.T, k *Kernel, creator *kobj.TCB) uint32 {
+	t.Helper()
+	addrs, err := k.CreateObjects(creator, kobj.TypeNotification, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addrs[0]
+}
+
+func TestIRQDeliveredToHandlerThread(t *testing.T) {
+	k := boot(t, Modern())
+	handler := mustThread(t, k, "irq-handler", 255)
+	ep := mustNotification(t, k, handler)
+	if err := k.RegisterIRQHandler(handler, ep); err != nil {
+		t.Fatal(err)
+	}
+	// The handler waits for the interrupt.
+	if err := k.WaitIRQ(handler, ep); err != nil {
+		t.Fatal(err)
+	}
+	if handler.State != kobj.ThreadBlockedOnRecv {
+		t.Fatalf("handler state %v", handler.State)
+	}
+	// A lower-priority worker runs; the timer fires while it works.
+	worker := mustThread(t, k, "worker", 10)
+	k.SetTimer(k.Now() + 500)
+	eps2 := mustEndpoint(t, k, worker)
+	if err := k.Send(worker, eps2, 1, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if k.Stats().IRQsServiced != 1 {
+		t.Fatal("IRQ not serviced")
+	}
+	if k.IRQHandlerRuns() != 1 {
+		t.Fatal("handler thread not woken by the IRQ")
+	}
+	if handler.State != kobj.ThreadRunnable && handler.State != kobj.ThreadRunning {
+		t.Errorf("handler state %v after IRQ", handler.State)
+	}
+	if handler.SendBadge != irqBadge {
+		t.Error("handler did not receive the IRQ badge")
+	}
+	assertClean(t, k)
+}
+
+func TestIRQSignalLatchedWithoutWaiter(t *testing.T) {
+	k := boot(t, Modern())
+	handler := mustThread(t, k, "irq-handler", 255)
+	ep := mustNotification(t, k, handler)
+	if err := k.RegisterIRQHandler(handler, ep); err != nil {
+		t.Fatal(err)
+	}
+	// Nobody waits when the IRQ fires: the signal latches.
+	k.SetTimer(k.Now() + 100)
+	k.Idle(1_000)
+	if k.Stats().IRQsServiced != 1 {
+		t.Fatal("IRQ not serviced")
+	}
+	if k.IRQHandlerRuns() != 0 {
+		t.Fatal("handler credited a run while not waiting")
+	}
+	// The next wait consumes the pending signal without blocking.
+	if err := k.WaitIRQ(handler, ep); err != nil {
+		t.Fatal(err)
+	}
+	if handler.State == kobj.ThreadBlockedOnRecv {
+		t.Error("handler blocked despite a pending signal")
+	}
+	if k.IRQHandlerRuns() != 1 {
+		t.Error("pending signal not consumed")
+	}
+	assertClean(t, k)
+}
+
+func TestRegisterIRQHandlerValidation(t *testing.T) {
+	k := boot(t, Modern())
+	creator := mustThread(t, k, "c", 100)
+	tcbAddrs, err := k.CreateObjects(creator, kobj.TypeTCB, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RegisterIRQHandler(creator, tcbAddrs[0]); err == nil {
+		t.Error("non-endpoint cap accepted as IRQ handler")
+	}
+}
+
+func TestTickRoundRobin(t *testing.T) {
+	k := boot(t, Modern())
+	a := mustThread(t, k, "a", 100)
+	b := mustThread(t, k, "b", 100)
+	c := mustThread(t, k, "c", 100)
+	_ = c
+	// a became current on StartThread; b and c queued.
+	if k.Current() != a {
+		t.Fatalf("current = %v", k.Current())
+	}
+	k.Tick()
+	if k.Current() != b {
+		t.Errorf("after tick current = %q, want b", k.Current().Name)
+	}
+	k.Tick()
+	if k.Current().Name != "c" {
+		t.Errorf("after 2 ticks current = %q, want c", k.Current().Name)
+	}
+	k.Tick()
+	if k.Current() != a {
+		t.Errorf("after 3 ticks current = %q, want a (round robin)", k.Current().Name)
+	}
+	assertClean(t, k)
+}
+
+func TestTickPrefersHigherPriority(t *testing.T) {
+	k := boot(t, Modern())
+	lo := mustThread(t, k, "lo", 10)
+	hi := mustThread(t, k, "hi", 200)
+	_ = lo
+	k.Tick()
+	if k.Current() != hi {
+		t.Errorf("tick chose %q, want the high-priority thread", k.Current().Name)
+	}
+	// Subsequent ticks keep choosing it (it is alone at its level).
+	k.Tick()
+	if k.Current() != hi {
+		t.Error("tick demoted the only high-priority thread")
+	}
+	assertClean(t, k)
+}
+
+func TestTickIdleSystem(t *testing.T) {
+	k := boot(t, Modern())
+	k.Tick() // no threads at all: must not panic
+	if k.Current() != nil {
+		t.Error("idle tick produced a current thread")
+	}
+	assertClean(t, k)
+}
+
+func TestCopyCapDerivation(t *testing.T) {
+	k := boot(t, Modern())
+	owner := mustThread(t, k, "o", 100)
+	ep := mustEndpoint(t, k, owner)
+	cp, err := k.CopyCap(owner, ep, kobj.RightRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcSlot, _, _ := k.decodeCap(owner, ep)
+	cpSlot, _, _ := k.decodeCap(owner, cp)
+	if cpSlot.Cap.Endpoint() != srcSlot.Cap.Endpoint() {
+		t.Error("copy references a different object")
+	}
+	if cpSlot.Cap.Rights != kobj.RightRead {
+		t.Errorf("rights not masked: %v", cpSlot.Cap.Rights)
+	}
+	if cpSlot.MDBDepth != srcSlot.MDBDepth+1 {
+		t.Error("copy is not an MDB child of the source")
+	}
+	if k.Objects().IsFinal(srcSlot) {
+		t.Error("source reported final with a live copy")
+	}
+	assertClean(t, k)
+}
+
+func TestMoveCapPreservesTree(t *testing.T) {
+	k := boot(t, Modern())
+	owner := mustThread(t, k, "o", 100)
+	ep := mustEndpoint(t, k, owner)
+	// Derive a child so the moved cap has tree structure around it.
+	child, err := k.CopyCap(owner, ep, kobj.RightsAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcSlot, _, _ := k.decodeCap(owner, ep)
+	childSlot, _, _ := k.decodeCap(owner, child)
+	oldDepth := srcSlot.MDBDepth
+
+	moved, err := k.MoveCap(owner, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srcSlot.IsEmpty() {
+		t.Error("source slot still holds a cap after move")
+	}
+	newSlot, _, err := k.decodeCap(owner, moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newSlot.MDBDepth != oldDepth {
+		t.Error("move changed the cap's derivation depth")
+	}
+	// The child must still be the moved cap's MDB child.
+	kids := k.Objects().Children(newSlot)
+	found := false
+	for _, s := range kids {
+		if s == childSlot {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("move orphaned the derived child")
+	}
+	assertClean(t, k)
+}
+
+func TestRevokeDeletesSubtreeBounded(t *testing.T) {
+	k := boot(t, Modern())
+	owner := mustThread(t, k, "o", 100)
+	ep := mustEndpoint(t, k, owner)
+	const children = 64
+	for i := 0; i < children; i++ {
+		if _, err := k.MintBadgedCap(owner, ep, uint32(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srcSlot, _, _ := k.decodeCap(owner, ep)
+	if got := len(k.Objects().Children(srcSlot)); got != children {
+		t.Fatalf("%d children, want %d", got, children)
+	}
+	// Revoke with an IRQ pending from the start: per-child
+	// preemption keeps latency bounded.
+	k.SetTimer(k.Now() + CostKernelEntry + CostSyscallDecode + 10)
+	if err := k.Revoke(owner, ep); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(k.Objects().Children(srcSlot)); got != 0 {
+		t.Errorf("%d children survive revocation", got)
+	}
+	if srcSlot.IsEmpty() {
+		t.Error("revocation deleted the parent cap itself")
+	}
+	if k.MaxLatency() > 20000 {
+		t.Errorf("revocation latency %d not bounded", k.MaxLatency())
+	}
+	if k.Stats().Preemptions == 0 {
+		t.Error("revocation never preempted")
+	}
+	assertClean(t, k)
+}
+
+func TestRevokeEmptyAndLeafErrors(t *testing.T) {
+	k := boot(t, Modern())
+	owner := mustThread(t, k, "o", 100)
+	if err := k.Revoke(owner, 4000); err == nil {
+		t.Error("revoke of empty slot succeeded")
+	}
+	ep := mustEndpoint(t, k, owner)
+	// Revoking a leaf is a no-op, not an error.
+	if err := k.Revoke(owner, ep); err != nil {
+		t.Errorf("leaf revoke failed: %v", err)
+	}
+}
+
+func TestSignalCapAndPollCap(t *testing.T) {
+	k := boot(t, Modern())
+	producer := mustThread(t, k, "producer", 100)
+	consumer := mustThread(t, k, "consumer", 150)
+	n := mustNotification(t, k, producer)
+
+	// Poll with nothing pending.
+	got, err := k.PollCap(consumer, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("poll found a phantom signal")
+	}
+	// Signal then poll.
+	if err := k.SignalCap(producer, n); err != nil {
+		t.Fatal(err)
+	}
+	got, err = k.PollCap(consumer, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("poll missed the signal")
+	}
+	// Blocking wait woken by a signal: direct switch to the
+	// higher-priority consumer.
+	if err := k.WaitIRQ(consumer, n); err != nil {
+		t.Fatal(err)
+	}
+	if consumer.State != kobj.ThreadBlockedOnRecv {
+		t.Fatalf("consumer state %v", consumer.State)
+	}
+	if err := k.SignalCap(producer, n); err != nil {
+		t.Fatal(err)
+	}
+	if k.Current() != consumer {
+		t.Errorf("current = %v, want the woken consumer", k.Current())
+	}
+	assertClean(t, k)
+}
+
+func TestSignalCapValidation(t *testing.T) {
+	k := boot(t, Modern())
+	a := mustThread(t, k, "a", 100)
+	ep := mustEndpoint(t, k, a)
+	if err := k.SignalCap(a, ep); err == nil {
+		t.Error("signal on endpoint cap accepted")
+	}
+	if _, err := k.PollCap(a, ep); err == nil {
+		t.Error("poll on endpoint cap accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package kernel
+
+import (
+	"testing"
+
+	"verikern/internal/kobj"
+)
+
+func TestSetPriorityMovesQueues(t *testing.T) {
+	k := boot(t, Modern())
+	runner := mustThread(t, k, "runner", 200) // current
+	a := mustThread(t, k, "a", 50)            // queued at 50
+	if !a.InRunQueue {
+		t.Fatal("a not queued")
+	}
+	if err := k.SetPriority(runner, a, 120); err != nil {
+		t.Fatal(err)
+	}
+	if a.Prio != 120 || !a.InRunQueue {
+		t.Fatalf("a prio %d queued %v", a.Prio, a.InRunQueue)
+	}
+	// The bitmap and queue position must agree — the invariant
+	// checker validates both.
+	assertClean(t, k)
+	rq := k.Scheduler().Queues()
+	if rq.Q[50].Head != nil {
+		t.Error("old queue still holds the thread")
+	}
+	if rq.Q[120].Head != a {
+		t.Error("new queue missing the thread")
+	}
+}
+
+func TestSetPriorityPreemptsCurrent(t *testing.T) {
+	k := boot(t, Modern())
+	runner := mustThread(t, k, "runner", 100)
+	a := mustThread(t, k, "a", 50)
+	if err := k.SetPriority(runner, a, 220); err != nil {
+		t.Fatal(err)
+	}
+	if k.Current() != a {
+		t.Errorf("current = %q, want the newly high-priority thread", k.Current().Name)
+	}
+	if runner.State != kobj.ThreadRunnable || !runner.InRunQueue {
+		t.Error("displaced thread not requeued")
+	}
+	assertClean(t, k)
+}
+
+func TestSuspendFromRunQueue(t *testing.T) {
+	k := boot(t, Modern())
+	runner := mustThread(t, k, "runner", 200)
+	a := mustThread(t, k, "a", 50)
+	if err := k.Suspend(runner, a); err != nil {
+		t.Fatal(err)
+	}
+	if a.State != kobj.ThreadInactive || a.InRunQueue {
+		t.Errorf("suspended thread state %v queued %v", a.State, a.InRunQueue)
+	}
+	assertClean(t, k)
+	// Resume puts it back.
+	if err := k.Resume(runner, a); err != nil {
+		t.Fatal(err)
+	}
+	if !a.State.Runnable() {
+		t.Errorf("resumed thread state %v", a.State)
+	}
+	assertClean(t, k)
+}
+
+func TestSuspendBlockedThreadLeavesEndpoint(t *testing.T) {
+	k := boot(t, Modern())
+	runner := mustThread(t, k, "runner", 200)
+	sender := mustThread(t, k, "sender", 50)
+	ep := mustEndpoint(t, k, runner)
+	if err := k.Send(sender, ep, 1, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if sender.WaitingOn == nil {
+		t.Fatal("sender not queued on endpoint")
+	}
+	if err := k.Suspend(runner, sender); err != nil {
+		t.Fatal(err)
+	}
+	if sender.WaitingOn != nil || sender.State != kobj.ThreadInactive {
+		t.Error("suspend left the thread on the endpoint")
+	}
+	slot, _, _ := k.decodeCap(runner, ep)
+	if slot.Cap.Endpoint().QueueLen() != 0 {
+		t.Error("endpoint queue not emptied")
+	}
+	assertClean(t, k)
+}
+
+func TestSuspendCurrentReschedules(t *testing.T) {
+	k := boot(t, Modern())
+	a := mustThread(t, k, "a", 100) // current
+	b := mustThread(t, k, "b", 90)
+	if err := k.Suspend(a, a); err != nil {
+		t.Fatal(err)
+	}
+	if k.Current() != b {
+		t.Errorf("current = %v, want b", k.Current())
+	}
+	assertClean(t, k)
+}
+
+func TestResumeValidation(t *testing.T) {
+	k := boot(t, Modern())
+	a := mustThread(t, k, "a", 100)
+	if err := k.Resume(a, a); err == nil {
+		t.Error("resume of a runnable thread succeeded")
+	}
+}

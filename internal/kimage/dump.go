@@ -1,0 +1,63 @@
+package kimage
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Dump writes a human-readable disassembly-style listing of the linked
+// image: functions in address order, blocks with their successor edges
+// and loop bounds, instructions with addresses and data annotations.
+// It is the debugging view behind `cmd/wcet -dump`.
+func (img *Image) Dump(w io.Writer) error {
+	funcs := make([]*Func, 0, len(img.Funcs))
+	for _, f := range img.Funcs {
+		funcs = append(funcs, f)
+	}
+	sort.Slice(funcs, func(i, j int) bool {
+		return funcs[i].Entry().Addr < funcs[j].Entry().Addr
+	})
+	for _, f := range funcs {
+		if _, err := fmt.Fprintf(w, "\n%08x <%s>:\n", f.Entry().Addr, f.Name); err != nil {
+			return err
+		}
+		for _, b := range f.Blocks {
+			label := b.Name
+			if bound, ok := f.LoopBounds[b.Name]; ok {
+				label = fmt.Sprintf("%s (loop header, bound %d)", b.Name, bound)
+			}
+			if _, err := fmt.Fprintf(w, "  %s:\n", label); err != nil {
+				return err
+			}
+			for i := range b.Instrs {
+				ins := &b.Instrs[i]
+				ann := ""
+				switch {
+				case ins.Data.Base == 0:
+				case ins.Data.Fixed():
+					ann = fmt.Sprintf("\t[%#x]", ins.Data.Base)
+				default:
+					ann = fmt.Sprintf("\t[%#x +%d x%d]", ins.Data.Base, ins.Data.Stride, ins.Data.Count)
+				}
+				if _, err := fmt.Fprintf(w, "    %08x  %-7s%s\n", b.InstrAddr(i), ins.Class, ann); err != nil {
+					return err
+				}
+			}
+			tail := ""
+			if b.Call != "" {
+				tail = fmt.Sprintf("    call %s; ", b.Call)
+			}
+			switch len(b.Succs) {
+			case 0:
+				tail += "ret"
+			default:
+				tail += fmt.Sprintf("-> %v", b.Succs)
+			}
+			if _, err := fmt.Fprintf(w, "    %s\n", tail); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package ktime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Error("fresh clock not at zero")
+	}
+	c.Advance(5)
+	c.Advance(7)
+	if c.Now() != 12 {
+		t.Errorf("clock = %d, want 12", c.Now())
+	}
+}
+
+// Property: the clock is monotone and exact under any advance sequence.
+func TestPropertyMonotoneExact(t *testing.T) {
+	f := func(steps []uint16) bool {
+		var c Clock
+		var sum uint64
+		for _, s := range steps {
+			prev := c.Now()
+			c.Advance(uint64(s))
+			sum += uint64(s)
+			if c.Now() < prev || c.Now() != sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package machine is the cycle-accounting simulator of the evaluation
+// platform: it executes instruction traces from a kernel image against
+// concrete L1/L2 caches, a branch predictor and the memory latencies of
+// the KZM board, producing the "observed" execution times of the
+// paper's methodology (§5.4). The static analyser (internal/wcet) uses
+// conservative abstractions of exactly the same hardware parameters, so
+// computed bounds and observed times are directly comparable.
+package machine
+
+import (
+	"verikern/internal/arch"
+	"verikern/internal/cache"
+	"verikern/internal/kimage"
+	"verikern/internal/pipeline"
+)
+
+// Counters aggregates performance-monitoring counters for a run,
+// mirroring the ARM1136 PMU events the paper measures with.
+type Counters struct {
+	Instructions uint64
+	Cycles       uint64
+	L1IHits      uint64
+	L1IMisses    uint64
+	L1DHits      uint64
+	L1DMisses    uint64
+	L2Hits       uint64
+	L2Misses     uint64
+	Writebacks   uint64
+	Branches     uint64
+}
+
+// Machine simulates the platform. Construct with New.
+type Machine struct {
+	cfg arch.Config
+	l1i *cache.Cache
+	l1d *cache.Cache
+	l2  *cache.Cache
+	bp  *pipeline.Predictor
+
+	counters Counters
+	// execIndex tracks, per instruction, how many times it has run
+	// in the current trace, to resolve strided data references.
+	execIndex map[*kimage.Block][]uint64
+}
+
+// New constructs a machine for the platform configuration. Cache
+// geometries are fixed by the platform (arch); cfg selects L2
+// enablement, branch prediction and the number of locked L1 ways.
+func New(cfg arch.Config) *Machine {
+	mk := func(g arch.CacheGeometry, locked int) *cache.Cache {
+		ways := g.Ways
+		if cfg.TCMEnabled {
+			// One way of each L1 is repurposed as TCM.
+			ways--
+		}
+		if locked >= ways {
+			locked = ways - 1
+		}
+		return cache.New(cache.Config{
+			Sets:       g.Sets(),
+			Ways:       ways,
+			LineBytes:  g.LineBytes,
+			Policy:     cache.RoundRobin,
+			LockedWays: locked,
+		})
+	}
+	m := &Machine{
+		cfg: cfg,
+		l1i: mk(arch.L1IGeometry, cfg.PinnedL1Ways),
+		l1d: mk(arch.L1DGeometry, cfg.PinnedL1Ways),
+		bp:  pipeline.NewPredictor(cfg.BranchPredictor, 9),
+	}
+	if cfg.L2Enabled {
+		locked := 0
+		if cfg.L2LockedKernel {
+			// Lock up to half the L2 (4 of 8 ways = 64 KiB)
+			// for kernel text, comfortably covering the
+			// paper's 36 KiB binary.
+			locked = 4
+		}
+		m.l2 = mk(arch.L2Geometry, locked)
+	}
+	return m
+}
+
+// Config returns the machine's platform configuration.
+func (m *Machine) Config() arch.Config { return m.cfg }
+
+// LoadImage installs an image's pinned lines into the locked L1 ways
+// and, under the kernel-locking configuration, the whole text segment
+// into the locked L2 ways. It reports the number of lines that could
+// not be pinned (pin set exceeding the locked capacity of some set).
+func (m *Machine) LoadImage(img *kimage.Image) int {
+	failed := 0
+	if m.cfg.PinnedL1Ways > 0 {
+		for _, a := range img.PinnedLines {
+			if !m.l1i.Pin(a) {
+				failed++
+			}
+		}
+		for _, a := range img.PinnedData {
+			if !m.l1d.Pin(a) {
+				failed++
+			}
+		}
+	}
+	if m.l2 != nil && m.cfg.L2LockedKernel {
+		for _, a := range img.CodeLines() {
+			if !m.l2.Pin(a) {
+				failed++
+			}
+		}
+	}
+	return failed
+}
+
+// Pollute fills all caches with conflicting dirty lines and resets the
+// branch predictor — the adversarial pre-state for worst-case
+// measurement runs (§5.4).
+func (m *Machine) Pollute(seed uint32) {
+	m.l1i.Pollute(seed)
+	m.l1d.Pollute(seed ^ 0x5555)
+	if m.l2 != nil {
+		m.l2.Pollute(seed ^ 0xAAAA)
+	}
+	m.bp.Reset()
+}
+
+// InvalidateCaches drops all cache contents (except pinned lines).
+func (m *Machine) InvalidateCaches() {
+	m.l1i.InvalidateAll()
+	m.l1d.InvalidateAll()
+	if m.l2 != nil {
+		m.l2.InvalidateAll()
+	}
+}
+
+// memAccess plays one access through L1 (i or d), then L2/memory, and
+// returns its cycle cost beyond the instruction's base cost.
+func (m *Machine) memAccess(l1 *cache.Cache, addr uint32, write bool) uint64 {
+	r1 := l1.Access(addr, write)
+	if r1.Hit {
+		return 0
+	}
+	// Write-backs of dirty victims are buffered by the hardware and
+	// largely overlap with subsequent execution; the simulator
+	// charges a small drain cost per write-back. The static
+	// analyser, which cannot reason about buffer occupancy, charges
+	// the full unbuffered cost — one of the model conservatisms
+	// Figure 8 quantifies.
+	var cost uint64
+	if r1.Writeback {
+		m.counters.Writebacks++
+		if m.l2 == nil {
+			cost += arch.LatencyMemL2Off / 8
+		} else {
+			cost += arch.LatencyL2Hit / 4
+		}
+	}
+	if m.l2 == nil {
+		return cost + arch.LatencyMemL2Off
+	}
+	r2 := m.l2.Access(addr, write)
+	if r2.Hit {
+		return cost + arch.LatencyL2Hit
+	}
+	if r2.Writeback {
+		m.counters.Writebacks++
+		cost += arch.LatencyMemL2On / 8
+	}
+	return cost + arch.LatencyMemL2On
+}
+
+// execIndexFor returns (and advances) the execution index of
+// instruction i in block b.
+func (m *Machine) execIndexFor(b *kimage.Block, i int) uint64 {
+	if m.execIndex == nil {
+		m.execIndex = make(map[*kimage.Block][]uint64)
+	}
+	idx := m.execIndex[b]
+	if idx == nil {
+		idx = make([]uint64, len(b.Instrs))
+		m.execIndex[b] = idx
+	}
+	n := idx[i]
+	idx[i] = n + 1
+	return n
+}
+
+// ResetTrace clears per-trace execution state (strided-reference
+// indices) without touching cache or predictor contents.
+func (m *Machine) ResetTrace() { m.execIndex = nil }
+
+// ExecBlock executes one basic block: fetches every instruction through
+// the I-side hierarchy, performs data accesses through the D-side, and
+// charges base pipeline costs. taken tells the branch model whether the
+// block's terminating branch was taken. Returns the cycles consumed.
+func (m *Machine) ExecBlock(b *kimage.Block, taken bool) uint64 {
+	var cycles uint64
+	for i := range b.Instrs {
+		ins := &b.Instrs[i]
+		m.counters.Instructions++
+		cycles += arch.BaseCost(ins.Class)
+		if fa := b.InstrAddr(i); !m.cfg.InITCM(fa) {
+			cycles += m.memAccess(m.l1i, fa, false)
+		}
+		if ins.Data.Base != 0 {
+			n := m.execIndexFor(b, i)
+			if da := ins.Data.Addr(n); !m.cfg.InDTCM(da) {
+				cycles += m.memAccess(m.l1d, da, ins.Data.Write)
+			}
+		}
+	}
+	if b.EndsInBranch() {
+		m.counters.Branches++
+		last := b.Addr
+		if n := len(b.Instrs); n > 0 {
+			last = b.InstrAddr(n - 1)
+		}
+		cycles += m.bp.Branch(last, taken)
+	}
+	m.counters.Cycles += cycles
+	return cycles
+}
+
+// Run executes a trace of blocks in order, returning total cycles. The
+// per-trace execution indices are reset first; cache and predictor
+// state persists from previous runs (call Pollute or InvalidateCaches
+// to control it).
+func (m *Machine) Run(trace []*kimage.Block) uint64 {
+	m.ResetTrace()
+	var total uint64
+	for i, b := range trace {
+		taken := true
+		if i+1 < len(trace) && len(b.Succs) > 0 && trace[i+1].Name == b.Succs[0] && b.Call == "" {
+			taken = false // fell through to the first successor
+		}
+		total += m.ExecBlock(b, taken)
+	}
+	return total
+}
+
+// Counters returns the accumulated PMU counters.
+func (m *Machine) Counters() Counters {
+	c := m.counters
+	c.L1IHits, c.L1IMisses, _ = m.l1i.Stats()
+	c.L1DHits, c.L1DMisses, _ = m.l1d.Stats()
+	if m.l2 != nil {
+		c.L2Hits, c.L2Misses, _ = m.l2.Stats()
+	}
+	return c
+}
+
+// ResetCounters zeroes all PMU counters.
+func (m *Machine) ResetCounters() {
+	m.counters = Counters{}
+	m.l1i.ResetStats()
+	m.l1d.ResetStats()
+	if m.l2 != nil {
+		m.l2.ResetStats()
+	}
+}

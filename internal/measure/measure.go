@@ -1,0 +1,134 @@
+// Package measure reproduces the paper's observed-worst-case
+// methodology (§5.4): replay a worst-case path on the simulated
+// hardware with caches polluted by dirty lines, repeat over many
+// adversarial initial states, and report the maximum — the "observed"
+// column of Table 2 and the baseline for the overestimation plots of
+// Figures 8 and 9.
+package measure
+
+import (
+	"fmt"
+	"sort"
+
+	"verikern/internal/arch"
+	"verikern/internal/kimage"
+	"verikern/internal/machine"
+)
+
+// Observation summarises a measurement campaign for one path.
+type Observation struct {
+	// Max is the worst observed execution time in cycles.
+	Max uint64
+	// Min is the best observed time (a warm-cache floor).
+	Min uint64
+	// Mean is the average across runs.
+	Mean float64
+	// Runs is the number of measured executions.
+	Runs int
+}
+
+// Micros returns the worst observation in microseconds on the 532 MHz
+// clock.
+func (o Observation) Micros() float64 { return arch.CyclesToMicros(o.Max) }
+
+// Observe replays trace on a machine configured with hw, runs times,
+// each from a freshly polluted cache state (a different pollution seed
+// per run), and reports the distribution. The image's pin set is
+// installed first when the configuration locks L1 ways.
+func Observe(img *kimage.Image, hw arch.Config, trace []*kimage.Block, runs int) Observation {
+	if runs <= 0 {
+		runs = 1
+	}
+	var o Observation
+	o.Runs = runs
+	o.Min = ^uint64(0)
+	var sum uint64
+	for i := 0; i < runs; i++ {
+		m := machine.New(hw)
+		m.LoadImage(img)
+		m.Pollute(uint32(i)*2654435761 + 1)
+		c := m.Run(trace)
+		if c > o.Max {
+			o.Max = c
+		}
+		if c < o.Min {
+			o.Min = c
+		}
+		sum += c
+	}
+	o.Mean = float64(sum) / float64(runs)
+	return o
+}
+
+// ObserveWarm measures the best case: the trace is run twice on the
+// same machine and the second (warm) time is reported. This is the
+// fastpath-style measurement used for the IPC fastpath figure (§6.1).
+func ObserveWarm(img *kimage.Image, hw arch.Config, trace []*kimage.Block) uint64 {
+	m := machine.New(hw)
+	m.LoadImage(img)
+	m.Run(trace)
+	return m.Run(trace)
+}
+
+// Ratio returns computed/observed, the pessimism ratio reported in
+// Table 2.
+func Ratio(computed uint64, observed uint64) float64 {
+	if observed == 0 {
+		return 0
+	}
+	return float64(computed) / float64(observed)
+}
+
+// OverestimationPercent returns the percentage by which computed
+// exceeds observed, as plotted in Figure 8.
+func OverestimationPercent(computed, observed uint64) float64 {
+	if observed == 0 {
+		return 0
+	}
+	return 100 * (float64(computed) - float64(observed)) / float64(observed)
+}
+
+// Summary is a latency distribution digest, for reporting measured
+// interrupt-response latencies.
+type Summary struct {
+	Count         int
+	Min, Max      uint64
+	P50, P90, P99 uint64
+	Mean          float64
+}
+
+// Summarize computes a distribution digest of the samples. An empty
+// input yields a zero Summary.
+func Summarize(samples []uint64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := append([]uint64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) uint64 {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	var sum uint64
+	for _, s := range sorted {
+		sum += s
+	}
+	return Summary{
+		Count: len(sorted),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P50:   pct(0.50),
+		P90:   pct(0.90),
+		P99:   pct(0.99),
+		Mean:  float64(sum) / float64(len(sorted)),
+	}
+}
+
+// String renders the digest on the 532 MHz clock.
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d min=%d p50=%d p90=%d p99=%d max=%d cycles (max %.1f µs)",
+		s.Count, s.Min, s.P50, s.P90, s.P99, s.Max, arch.CyclesToMicros(s.Max))
+}

@@ -1,0 +1,117 @@
+package measure
+
+import (
+	"strings"
+	"testing"
+
+	"verikern/internal/arch"
+	"verikern/internal/kimage"
+	"verikern/internal/wcet"
+)
+
+func testImage(t *testing.T) *kimage.Image {
+	t.Helper()
+	img := kimage.New()
+	data := img.Data("d", 2048)
+	b := img.NewFunc("entry")
+	b.ALU(16)
+	b.Loop(8, func(b *kimage.FuncBuilder) {
+		b.LoadStride(data, 32, 8)
+		b.ALU(2)
+	})
+	b.Ret()
+	img.Entries = []string{"entry"}
+	if err := img.Link(); err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestObserveBelowComputed(t *testing.T) {
+	img := testImage(t)
+	for _, hw := range []arch.Config{{}, {L2Enabled: true}} {
+		r, err := wcet.New(img, hw).Analyze("entry")
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := Observe(img, hw, r.Trace, 50)
+		if o.Max > r.Cycles {
+			t.Errorf("hw %+v: observed max %d exceeds computed %d", hw, o.Max, r.Cycles)
+		}
+		if o.Max == 0 || o.Min > o.Max || o.Mean > float64(o.Max) || o.Mean < float64(o.Min) {
+			t.Errorf("hw %+v: inconsistent observation %+v", hw, o)
+		}
+		if o.Runs != 50 {
+			t.Errorf("runs = %d, want 50", o.Runs)
+		}
+	}
+}
+
+func TestObserveWarmBelowCold(t *testing.T) {
+	img := testImage(t)
+	hw := arch.Config{}
+	r, err := wcet.New(img, hw).Analyze("entry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := Observe(img, hw, r.Trace, 10)
+	warm := ObserveWarm(img, hw, r.Trace)
+	if warm >= cold.Max {
+		t.Errorf("warm run (%d) not faster than polluted worst (%d)", warm, cold.Max)
+	}
+}
+
+func TestRatioAndOverestimation(t *testing.T) {
+	if got := Ratio(300, 100); got != 3 {
+		t.Errorf("Ratio = %v, want 3", got)
+	}
+	if got := OverestimationPercent(150, 100); got != 50 {
+		t.Errorf("OverestimationPercent = %v, want 50", got)
+	}
+	if Ratio(5, 0) != 0 || OverestimationPercent(5, 0) != 0 {
+		t.Error("zero observed not handled")
+	}
+}
+
+func TestObserveDefaultsRuns(t *testing.T) {
+	img := testImage(t)
+	r, err := wcet.New(img, arch.Config{}).Analyze("entry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Observe(img, arch.Config{}, r.Trace, 0)
+	if o.Runs != 1 {
+		t.Errorf("runs = %d, want 1", o.Runs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.String() != "no samples" {
+		t.Errorf("empty summary: %+v", s)
+	}
+	samples := make([]uint64, 100)
+	for i := range samples {
+		samples[i] = uint64(i + 1) // 1..100
+	}
+	s := Summarize(samples)
+	if s.Min != 1 || s.Max != 100 || s.Count != 100 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.P50 != 50 || s.P90 != 90 || s.P99 != 99 {
+		t.Errorf("percentiles p50=%d p90=%d p99=%d", s.P50, s.P90, s.P99)
+	}
+	if s.Mean != 50.5 {
+		t.Errorf("mean %v", s.Mean)
+	}
+	if !strings.Contains(s.String(), "p99=99") {
+		t.Errorf("String() = %q", s.String())
+	}
+	// Input must not be mutated.
+	if samples[0] != 1 || samples[99] != 100 {
+		t.Error("Summarize mutated its input")
+	}
+	shuffled := []uint64{5, 1, 3, 2, 4}
+	if got := Summarize(shuffled); got.P50 != 3 || got.Min != 1 || got.Max != 5 {
+		t.Errorf("unsorted input summary %+v", got)
+	}
+}

@@ -1,0 +1,148 @@
+package wcet
+
+// Randomised soundness testing: generate structured random programs
+// with the image builder, analyse them, reconstruct their worst path,
+// and replay it on the concrete machine from adversarial cache states.
+// The computed bound must dominate every observation under every
+// platform configuration — the analysis-wide soundness theorem.
+
+import (
+	"math/rand"
+	"testing"
+
+	"verikern/internal/arch"
+	"verikern/internal/kimage"
+	"verikern/internal/machine"
+)
+
+// randProgram emits random structured code into b, using rng, with a
+// recursion depth budget.
+func randProgram(img *kimage.Image, b *kimage.FuncBuilder, rng *rand.Rand, depth int, data uint32) {
+	n := 2 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			b.ALU(1 + rng.Intn(12))
+		case 1:
+			b.Load(data + uint32(rng.Intn(128))*32)
+		case 2:
+			b.Store(data + uint32(rng.Intn(128))*32)
+		case 3:
+			if depth > 0 {
+				b.If(func(b *kimage.FuncBuilder) {
+					randProgram(img, b, rng, depth-1, data)
+				}, func(b *kimage.FuncBuilder) {
+					randProgram(img, b, rng, depth-1, data)
+				})
+			} else {
+				b.ALU(2)
+			}
+		case 4:
+			if depth > 0 {
+				bound := 1 + rng.Intn(6)
+				b.Loop(bound, func(b *kimage.FuncBuilder) {
+					randProgram(img, b, rng, depth-1, data)
+				})
+			} else {
+				b.ALU(1)
+			}
+		case 5:
+			count := uint32(2 + rng.Intn(16))
+			b.LoadStride(data+4096, 32, count)
+		}
+	}
+}
+
+func TestPropertySoundOnRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(20120410)) // the paper's presentation date
+	configs := []arch.Config{
+		{},
+		{L2Enabled: true},
+		{BranchPredictor: true},
+		{L2Enabled: true, BranchPredictor: true},
+	}
+	for trial := 0; trial < 25; trial++ {
+		img := kimage.New()
+		data := img.Data("d", 16*1024)
+		helper := img.NewFunc("helper")
+		randProgram(img, helper, rng, 1, data)
+		helper.Ret()
+		f := img.NewFunc("entry")
+		randProgram(img, f, rng, 2, data)
+		if rng.Intn(2) == 0 {
+			f.Call("helper")
+			randProgram(img, f, rng, 1, data)
+		}
+		f.Ret()
+		img.Entries = []string{"entry"}
+		if err := img.Link(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, hw := range configs {
+			r, err := New(img, hw).Analyze("entry")
+			if err != nil {
+				t.Fatalf("trial %d hw %+v: %v", trial, hw, err)
+			}
+			// The trace-forced analysis must also dominate,
+			// and never exceed the whole-program bound.
+			tc := TraceCycles(img, hw, r.Trace)
+			if tc > r.Cycles {
+				t.Errorf("trial %d hw %+v: trace-forced %d above bound %d",
+					trial, hw, tc, r.Cycles)
+			}
+			for seed := uint32(0); seed < 6; seed++ {
+				m := machine.New(hw)
+				m.Pollute(seed*7 + 1)
+				obs := m.Run(r.Trace)
+				if obs > r.Cycles {
+					t.Fatalf("trial %d hw %+v seed %d: observed %d exceeds bound %d",
+						trial, hw, seed, obs, r.Cycles)
+				}
+				if obs > tc {
+					t.Fatalf("trial %d hw %+v seed %d: observed %d exceeds trace-forced %d",
+						trial, hw, seed, obs, tc)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyCountsConsistent: on random programs, the ILP's counts
+// satisfy flow conservation and the reconstructed trace realises them
+// exactly.
+func TestPropertyCountsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		img := kimage.New()
+		data := img.Data("d", 8192)
+		f := img.NewFunc("entry")
+		randProgram(img, f, rng, 2, data)
+		f.Ret()
+		img.Entries = []string{"entry"}
+		if err := img.Link(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := New(img, arch.Config{}).Analyze("entry")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count block executions in the trace and compare with the
+		// ILP node counts (summed over inlined copies).
+		traceCount := make(map[*kimage.Block]int64)
+		for _, blk := range r.Trace {
+			traceCount[blk]++
+		}
+		ilpCount := make(map[*kimage.Block]int64)
+		for _, n := range r.Graph.Nodes {
+			if n.Block != nil {
+				ilpCount[n.Block] += r.Counts[n.ID]
+			}
+		}
+		for blk, want := range ilpCount {
+			if traceCount[blk] != want {
+				t.Fatalf("trial %d: block %q executes %d times in trace, ILP says %d",
+					trial, blk.Name, traceCount[blk], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package wcet
+
+import (
+	"verikern/internal/arch"
+	"verikern/internal/cfg"
+	"verikern/internal/kimage"
+)
+
+// Persistence analysis: the paper's cache analysis computes "worst-case
+// cache hit/miss scenarios for each data load, store and instruction
+// fetch" (§6.3); the key scenario beyond always-hit is *first-miss* —
+// a line that cannot be evicted once loaded within a loop misses at
+// most once per loop entry, not once per iteration.
+//
+// A line is persistent in a loop when no other access in the loop can
+// touch its cache set: no distinct fixed line or fetch maps there, and
+// no unclassifiable striding footprint covers it. This is sound for
+// the concrete caches too — a resident line is only evicted by a miss
+// in its set, and during the loop no other line can miss into it.
+//
+// In the IPET encoding, a persistent line's miss penalty moves from
+// the per-iteration node cost to the loop's entry edges, so the ILP
+// charges it once per loop entry.
+
+// persistence holds per-loop results: the extra one-off cost charged
+// on each loop-entry edge.
+type persistence struct {
+	// persistentI / persistentD map loop index -> set of line
+	// addresses proven persistent within that loop.
+	persistentI []map[uint32]bool
+	persistentD []map[uint32]bool
+	// innermost maps node -> index of its innermost containing
+	// loop, or -1.
+	innermost []int
+}
+
+// analyzePersistence computes persistent lines per loop.
+func analyzePersistence(g *cfg.Graph, img *kimage.Image, hw arch.Config) *persistence {
+	p := &persistence{
+		persistentI: make([]map[uint32]bool, len(g.Loops)),
+		persistentD: make([]map[uint32]bool, len(g.Loops)),
+		innermost:   make([]int, len(g.Nodes)),
+	}
+	for i := range p.innermost {
+		p.innermost[i] = -1
+	}
+	// Innermost loop per node: the smallest containing body.
+	for li, l := range g.Loops {
+		for id := range l.Body {
+			cur := p.innermost[id]
+			if cur == -1 || len(g.Loops[li].Body) < len(g.Loops[cur].Body) {
+				p.innermost[id] = li
+			}
+		}
+	}
+
+	iLine := func(a uint32) uint32 { return a &^ uint32(arch.LineBytes-1) }
+	iSet := func(a uint32) uint32 { return (a >> 5) % uint32(arch.L1IGeometry.Sets()) }
+	dSet := func(a uint32) uint32 { return (a >> 5) % uint32(arch.L1DGeometry.Sets()) }
+
+	pinnedI := map[uint32]bool{}
+	pinnedD := map[uint32]bool{}
+	if hw.PinnedL1Ways > 0 {
+		pinnedI = img.PinnedCodeSet()
+		pinnedD = img.PinnedDataSet()
+	}
+
+	for li, l := range g.Loops {
+		// Gather the loop's access footprint per cache side:
+		// set -> the unique line seen there (or ^0 for conflict).
+		iOwner := map[uint32]uint32{}
+		dOwner := map[uint32]uint32{}
+		conflict := func(owner map[uint32]uint32, set, line uint32) {
+			if prev, ok := owner[set]; ok && prev != line {
+				owner[set] = ^uint32(0)
+			} else if !ok {
+				owner[set] = line
+			}
+		}
+		clobberAllD := false
+		for id := range l.Body {
+			n := g.Node(id)
+			if n.Block == nil {
+				continue
+			}
+			for i := range n.Block.Instrs {
+				ins := &n.Block.Instrs[i]
+				fl := iLine(n.Block.InstrAddr(i))
+				if !pinnedI[fl] {
+					conflict(iOwner, iSet(fl), fl)
+				}
+				d := ins.Data
+				if d.Base == 0 {
+					continue
+				}
+				if d.Fixed() {
+					dl := iLine(d.Base)
+					if !pinnedD[dl] {
+						conflict(dOwner, dSet(dl), dl)
+					}
+					continue
+				}
+				// Striding footprint: conflict every set it
+				// can touch (all sets when it wraps the
+				// cache).
+				span := uint64(d.Stride) * uint64(d.Count)
+				if span >= uint64(arch.L1DGeometry.WaySizeBytes()) {
+					clobberAllD = true
+					continue
+				}
+				for off := uint64(0); off <= span; off += arch.LineBytes {
+					dl := iLine(d.Base + uint32(off))
+					dOwner[dSet(dl)] = ^uint32(0)
+				}
+			}
+		}
+		pi := map[uint32]bool{}
+		for _, line := range iOwner {
+			if line != ^uint32(0) {
+				pi[line] = true
+			}
+		}
+		pd := map[uint32]bool{}
+		if !clobberAllD {
+			for _, line := range dOwner {
+				if line != ^uint32(0) {
+					pd[line] = true
+				}
+			}
+		}
+		p.persistentI[li] = pi
+		p.persistentD[li] = pd
+	}
+	return p
+}
+
+// lineOf returns the cache line of an address.
+func lineOf(a uint32) uint32 { return a &^ uint32(arch.LineBytes-1) }
+
+// persistentFetch reports whether node id's fetch of addr is covered
+// by its innermost loop's persistence set.
+func (p *persistence) persistentFetch(id cfg.NodeID, addr uint32) bool {
+	li := p.innermost[id]
+	return li >= 0 && p.persistentI[li][lineOf(addr)]
+}
+
+// persistentData reports whether node id's fixed data access to addr
+// is covered.
+func (p *persistence) persistentData(id cfg.NodeID, addr uint32) bool {
+	li := p.innermost[id]
+	return li >= 0 && p.persistentD[li][lineOf(addr)]
+}

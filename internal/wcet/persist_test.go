@@ -1,0 +1,152 @@
+package wcet
+
+import (
+	"testing"
+
+	"verikern/internal/arch"
+	"verikern/internal/kimage"
+	"verikern/internal/machine"
+)
+
+// loopImage builds a single loop of `iters` iterations whose body
+// repeatedly loads the same fixed address.
+func loopImage(t *testing.T, iters int, extra func(*kimage.FuncBuilder, uint32)) (*kimage.Image, uint32) {
+	t.Helper()
+	img := kimage.New()
+	data := img.Data("d", 8192)
+	b := img.NewFunc("entry")
+	b.ALU(2)
+	b.Loop(iters, func(b *kimage.FuncBuilder) {
+		b.Load(data)
+		b.ALU(3)
+		if extra != nil {
+			extra(b, data)
+		}
+	})
+	b.Ret()
+	img.Entries = []string{"entry"}
+	if err := img.Link(); err != nil {
+		t.Fatal(err)
+	}
+	return img, data
+}
+
+func TestFirstMissChargedOncePerLoop(t *testing.T) {
+	img, _ := loopImage(t, 64, nil)
+	r, err := New(img, arch.Config{}).Analyze("entry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop's fixed load and the body's fetches are persistent:
+	// classified first-miss, not per-iteration miss.
+	if r.Classified.DataFirstMiss == 0 {
+		t.Error("fixed in-loop load not classified first-miss")
+	}
+	if r.Classified.FetchFirstMiss == 0 {
+		t.Error("loop-body fetches not classified first-miss")
+	}
+	// The bound must therefore be far below 64 * missCost for the
+	// load: roughly base costs * 64 + a handful of one-off misses.
+	perIterationMiss := uint64(64) * missCost(arch.Config{})
+	if r.Cycles >= perIterationMiss {
+		t.Errorf("bound %d still charges the persistent load per iteration (>= %d)",
+			r.Cycles, perIterationMiss)
+	}
+}
+
+func TestConflictDefeatsPersistence(t *testing.T) {
+	// A second load in the body 4 KiB away maps to the same
+	// direct-mapped set: neither line is persistent.
+	img, _ := loopImage(t, 32, func(b *kimage.FuncBuilder, data uint32) {
+		b.Load(data + 4096)
+	})
+	r, err := New(img, arch.Config{}).Analyze("entry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Classified.DataFirstMiss != 0 {
+		t.Errorf("conflicting loads classified first-miss (%d)", r.Classified.DataFirstMiss)
+	}
+	// Both loads must be charged on every one of the 32 iterations.
+	if want := uint64(32) * 2 * missCost(arch.Config{}); r.Cycles < want {
+		t.Errorf("bound %d below per-iteration charge %d for the conflicting loads", r.Cycles, want)
+	}
+}
+
+func TestStridedFootprintDefeatsPersistence(t *testing.T) {
+	// A striding walk over the whole region clobbers the fixed
+	// load's set: no persistence.
+	img := kimage.New()
+	data := img.Data("d", 8192)
+	b := img.NewFunc("entry")
+	b.Loop(16, func(b *kimage.FuncBuilder) {
+		b.Load(data)
+		b.LoadStride(data, 32, 128) // footprint covers data's set
+	})
+	b.Ret()
+	img.Entries = []string{"entry"}
+	if err := img.Link(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(img, arch.Config{}).Analyze("entry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Classified.DataFirstMiss != 0 {
+		t.Error("persistence claimed despite striding clobber of the set")
+	}
+}
+
+// TestPersistenceSoundUnderReplay: with persistence active, the
+// machine's observation must still never exceed the bound — including
+// from a polluted start, where the first iteration genuinely misses.
+func TestPersistenceSoundUnderReplay(t *testing.T) {
+	img, _ := loopImage(t, 200, nil)
+	for _, hw := range []arch.Config{{}, {L2Enabled: true}} {
+		r, err := New(img, hw).Analyze("entry")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := uint32(0); seed < 10; seed++ {
+			m := machine.New(hw)
+			m.Pollute(seed + 1)
+			if obs := m.Run(r.Trace); obs > r.Cycles {
+				t.Fatalf("hw %+v: observed %d > bound %d", hw, obs, r.Cycles)
+			}
+		}
+	}
+}
+
+func TestNestedLoopPersistencePerEntry(t *testing.T) {
+	// An inner-loop-persistent line re-missed on each outer
+	// iteration must be charged per inner-loop entry (outer bound
+	// times), not once globally and not per inner iteration.
+	img := kimage.New()
+	data := img.Data("d", 8192)
+	conflict := img.Data("c", 8192)
+	b := img.NewFunc("entry")
+	b.Loop(4, func(b *kimage.FuncBuilder) {
+		// The outer body evicts the inner loop's line.
+		b.Load(conflict + 4096 - (conflict % 4096) + (data % 4096)) // same set as data
+		b.Loop(8, func(b *kimage.FuncBuilder) {
+			b.Load(data)
+			b.ALU(2)
+		})
+	})
+	b.Ret()
+	img.Entries = []string{"entry"}
+	if err := img.Link(); err != nil {
+		t.Fatal(err)
+	}
+	hw := arch.Config{}
+	r, err := New(img, hw).Analyze("entry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay: still sound.
+	m := machine.New(hw)
+	m.Pollute(3)
+	if obs := m.Run(r.Trace); obs > r.Cycles {
+		t.Fatalf("observed %d > bound %d", obs, r.Cycles)
+	}
+}

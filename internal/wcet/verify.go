@@ -1,0 +1,50 @@
+package wcet
+
+import (
+	"fmt"
+
+	"verikern/internal/kimage"
+	"verikern/internal/loopbound"
+)
+
+// BoundModel ties a loop in the kernel image to an IR program whose
+// model-checked bound must justify the image's annotation — the §5.3
+// machinery that replaces hand annotation with computed bounds and
+// "reduc[es] the possibility of human error".
+type BoundModel struct {
+	// Func and Header locate the annotated loop in the image.
+	Func, Header string
+	// Program and Head are the IR model and its loop-head index.
+	Program *loopbound.Program
+	Head    int
+}
+
+// VerifyBounds model-checks every supplied loop model and compares the
+// inferred bound with the image annotation. An annotation smaller than
+// the inferred maximum is unsound (the ILP would underestimate the
+// WCET) and is reported as an error; a larger annotation is merely
+// conservative and reported as nil.
+//
+// The inference counts loop-head executions; an annotation of N body
+// iterations corresponds to N+1 head executions.
+func VerifyBounds(img *kimage.Image, models []BoundModel) error {
+	for _, m := range models {
+		f := img.Funcs[m.Func]
+		if f == nil {
+			return fmt.Errorf("wcet: bound model references unknown function %q", m.Func)
+		}
+		annotated, ok := f.LoopBounds[m.Header]
+		if !ok {
+			return fmt.Errorf("wcet: bound model references unannotated loop %s.%s", m.Func, m.Header)
+		}
+		inferred, err := loopbound.Bound(m.Program, m.Head)
+		if err != nil {
+			return fmt.Errorf("wcet: inferring bound for %s.%s: %w", m.Func, m.Header, err)
+		}
+		if annotated < inferred-1 {
+			return fmt.Errorf("wcet: UNSOUND annotation on %s.%s: %d body iterations annotated, model checking proves up to %d",
+				m.Func, m.Header, annotated, inferred-1)
+		}
+	}
+	return nil
+}

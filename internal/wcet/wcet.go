@@ -1,0 +1,273 @@
+// Package wcet computes safe upper bounds on the worst-case execution
+// time of kernel entry points, reproducing the paper's analysis
+// pipeline (§5): whole-program CFG with virtual inlining, conservative
+// cache classification (each cache treated as direct-mapped of one-way
+// size), constant worst-case branch costs, IPET encoding to an integer
+// linear program, user constraints for infeasible-path exclusion, and
+// reconstruction of the worst-case path as a concrete trace that the
+// machine simulator can replay.
+package wcet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"verikern/internal/arch"
+	"verikern/internal/cfg"
+	"verikern/internal/kimage"
+)
+
+// ConstraintKind selects one of the three user-constraint forms of
+// §5.2.
+type ConstraintKind int
+
+// User-constraint kinds.
+const (
+	// Conflicts: blocks A and B are mutually exclusive within one
+	// invocation of function In.
+	Conflicts ConstraintKind = iota
+	// Consistent: blocks A and B execute the same number of times
+	// within one invocation of function In.
+	Consistent
+	// Executes: block A executes at most N times in total across
+	// all contexts.
+	Executes
+)
+
+// UserConstraint is a manually supplied infeasible-path constraint
+// (§5.2). A and B name blocks; In names the function whose invocations
+// scope the constraint.
+type UserConstraint struct {
+	Kind ConstraintKind
+	// In is the scoping function for Conflicts/Consistent.
+	In string
+	// A and B are block names within In (B unused for Executes).
+	A, B string
+	// N is the total execution bound for Executes.
+	N int
+}
+
+// Conflict builds an "A conflicts with B in F" constraint.
+func Conflict(f, a, b string) UserConstraint {
+	return UserConstraint{Kind: Conflicts, In: f, A: a, B: b}
+}
+
+// Consist builds an "A is consistent with B in F" constraint.
+func Consist(f, a, b string) UserConstraint {
+	return UserConstraint{Kind: Consistent, In: f, A: a, B: b}
+}
+
+// ExecutesAtMost builds an "A executes at most N times" constraint.
+// The block is named function-qualified since it applies across all
+// contexts.
+func ExecutesAtMost(f, a string, n int) UserConstraint {
+	return UserConstraint{Kind: Executes, In: f, A: a, N: n}
+}
+
+// Obligation renders the constraint as the proof obligation the paper
+// proposes handing to a verification engineer (§5.2: "it would be
+// possible to transform these extra constraints into proof
+// obligations"), removing the risk that a hand-written constraint
+// unsoundly excludes a feasible path.
+func (c UserConstraint) Obligation() string {
+	switch c.Kind {
+	case Conflicts:
+		return fmt.Sprintf("PROVE: within any single invocation of %s, basic blocks %q and %q are mutually exclusive",
+			c.In, c.A, c.B)
+	case Consistent:
+		return fmt.Sprintf("PROVE: within any single invocation of %s, basic blocks %q and %q execute equally often",
+			c.In, c.A, c.B)
+	case Executes:
+		return fmt.Sprintf("PROVE: across any kernel entry, basic block %s.%q executes at most %d times",
+			c.In, c.A, c.N)
+	default:
+		return "PROVE: (unknown constraint form)"
+	}
+}
+
+// Result is the outcome of one entry-point analysis.
+type Result struct {
+	// Entry is the analysed entry function.
+	Entry string
+	// Cycles is the computed WCET upper bound.
+	Cycles uint64
+	// Micros is Cycles on the 532 MHz clock.
+	Micros float64
+	// Graph is the inlined whole-program CFG.
+	Graph *cfg.Graph
+	// NodeCost holds the per-node worst-case cost used in the
+	// objective.
+	NodeCost []uint64
+	// Counts holds the ILP's per-node execution counts on the
+	// worst-case path.
+	Counts []int64
+	// Trace is the reconstructed worst-case path as an executable
+	// block sequence.
+	Trace []*kimage.Block
+	// Classified reports cache-classification statistics.
+	Classified ClassStats
+	// LPVars and LPConstraints report the ILP problem size.
+	LPVars, LPConstraints int
+	// edgeCounts holds the solved per-edge flows, used for path
+	// reconstruction.
+	edgeCounts map[edgeKey]int64
+	// loopEntryCost holds the per-loop one-off first-miss cost,
+	// charged on loop-entry edges.
+	loopEntryCost []uint64
+	// LPText is the ILP dump (only when Analyzer.KeepLP is set).
+	LPText string
+	// SolveTime is the wall time spent in ILP solving, and
+	// AnalysisTime the total (Chronos-equivalent) analysis time.
+	SolveTime, AnalysisTime time.Duration
+}
+
+// ClassStats counts cache classifications across all inlined
+// instructions.
+type ClassStats struct {
+	FetchHit, FetchMiss int
+	// FetchFirstMiss counts fetches proven persistent in their
+	// loop: one miss per loop entry instead of one per iteration.
+	FetchFirstMiss    int
+	DataHit, DataMiss int
+	// DataFirstMiss counts loop-persistent fixed data accesses.
+	DataFirstMiss int
+	DataUnknown   int // striding refs, unclassifiable
+}
+
+// Analyzer configures and runs WCET analyses over one kernel image.
+type Analyzer struct {
+	Img *kimage.Image
+	// HW is the platform configuration to analyse for.
+	HW arch.Config
+	// Constraints are the user-supplied infeasible-path
+	// constraints, applied to every entry point they match.
+	Constraints []UserConstraint
+	// KeepLP stores the generated ILP in Result.LPText (the
+	// CPLEX-LP-style dump the paper's toolchain fed its solver).
+	KeepLP bool
+}
+
+// New returns an analyzer for the image under the hardware config.
+func New(img *kimage.Image, hw arch.Config) *Analyzer {
+	return &Analyzer{Img: img, HW: hw}
+}
+
+// AddConstraints appends user constraints.
+func (a *Analyzer) AddConstraints(cs ...UserConstraint) {
+	a.Constraints = append(a.Constraints, cs...)
+}
+
+// Analyze computes the WCET bound for one entry point.
+func (a *Analyzer) Analyze(entry string) (*Result, error) {
+	start := time.Now()
+	g, err := cfg.Inline(a.Img, entry)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.FindLoops(a.Img); err != nil {
+		return nil, err
+	}
+	costs, loopEntry, stats := a.classify(g)
+	res := &Result{
+		Entry:         entry,
+		Graph:         g,
+		NodeCost:      costs,
+		Classified:    stats,
+		loopEntryCost: loopEntry,
+	}
+	if err := a.solveIPET(g, res); err != nil {
+		return nil, err
+	}
+	trace, err := reconstruct(g, res.edgeCounts)
+	if err != nil {
+		return nil, fmt.Errorf("wcet: %s: %w", entry, err)
+	}
+	res.Trace = trace
+	res.Micros = arch.CyclesToMicros(res.Cycles)
+	res.AnalysisTime = time.Since(start)
+	return res, nil
+}
+
+// HotBlock is one entry of the worst-case profile: a CFG node's total
+// contribution to the bound.
+type HotBlock struct {
+	// Key identifies the inlined node (context + function + block).
+	Key string
+	// Count is the node's execution count on the worst path.
+	Count int64
+	// Cycles is count × per-execution cost — its share of the bound.
+	Cycles uint64
+}
+
+// Hottest returns the n largest contributors to the bound, sorted by
+// total cycles — the "where does the worst case go" view used when
+// deciding where the next preemption point pays off.
+func (r *Result) Hottest(n int) []HotBlock {
+	var hot []HotBlock
+	for _, node := range r.Graph.Nodes {
+		if node.Block == nil || r.Counts[node.ID] == 0 {
+			continue
+		}
+		hot = append(hot, HotBlock{
+			Key:    node.Key(),
+			Count:  r.Counts[node.ID],
+			Cycles: uint64(r.Counts[node.ID]) * r.NodeCost[node.ID],
+		})
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].Cycles != hot[j].Cycles {
+			return hot[i].Cycles > hot[j].Cycles
+		}
+		return hot[i].Key < hot[j].Key
+	})
+	if n > 0 && len(hot) > n {
+		hot = hot[:n]
+	}
+	return hot
+}
+
+// AnalyzeAll runs every entry point declared by the image.
+func (a *Analyzer) AnalyzeAll() (map[string]*Result, error) {
+	out := make(map[string]*Result, len(a.Img.Entries))
+	for _, e := range a.Img.Entries {
+		r, err := a.Analyze(e)
+		if err != nil {
+			return nil, err
+		}
+		out[e] = r
+	}
+	return out, nil
+}
+
+// AnalyzeAllParallel analyses every entry point concurrently. The
+// per-entry analyses share only immutable inputs (the linked image and
+// the constraint list), so they parallelise trivially; the paper's
+// sequential 65-minute run would have shortened to its longest entry.
+func (a *Analyzer) AnalyzeAllParallel() (map[string]*Result, error) {
+	type res struct {
+		entry string
+		r     *Result
+		err   error
+	}
+	ch := make(chan res, len(a.Img.Entries))
+	for _, e := range a.Img.Entries {
+		go func(entry string) {
+			r, err := a.Analyze(entry)
+			ch <- res{entry: entry, r: r, err: err}
+		}(e)
+	}
+	out := make(map[string]*Result, len(a.Img.Entries))
+	var firstErr error
+	for range a.Img.Entries {
+		got := <-ch
+		if got.err != nil && firstErr == nil {
+			firstErr = got.err
+		}
+		out[got.entry] = got.r
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,287 @@
+// Package verikern reproduces "Improving Interrupt Response Time in a
+// Verifiable Protected Microkernel" (Blackham, Shi & Heiser, EuroSys
+// 2012) as an executable system: a functional model of an seL4-style
+// protected microkernel with the paper's preemption points and data-
+// structure redesigns, a cycle-level simulator of its ARM1136/KZM
+// evaluation platform, and a from-scratch WCET analysis pipeline
+// (whole-program CFG, conservative cache classification, IPET over a
+// built-in ILP solver) that computes the interrupt-response bounds the
+// paper reports.
+//
+// The package is the public face of the repository: it exposes the two
+// kernel variants ("original" and "modernised"), the platform
+// configurations the paper evaluates (L2 on/off, branch predictor
+// on/off, L1 way pinning), and drivers that regenerate every table and
+// figure of the paper's evaluation (Tables 1–2, Figures 8–9, and the
+// §6 headline numbers).
+package verikern
+
+import (
+	"fmt"
+
+	"verikern/internal/arch"
+	"verikern/internal/kbin"
+	"verikern/internal/kernel"
+	"verikern/internal/kimage"
+	"verikern/internal/kobj"
+	"verikern/internal/measure"
+	"verikern/internal/sched"
+	"verikern/internal/vspace"
+	"verikern/internal/wcet"
+)
+
+// Variant selects a kernel design generation.
+type Variant int
+
+// Kernel variants.
+const (
+	// Original is the pre-modification kernel: lazy scheduling,
+	// ASID-based address spaces, no preemption points.
+	Original Variant = iota
+	// Modern applies the paper's changes: Benno scheduling with
+	// bitmaps, shadow page tables, preemption points in all
+	// long-running operations.
+	Modern
+)
+
+// String returns the variant name.
+func (v Variant) String() string {
+	if v == Original {
+		return "original"
+	}
+	return "modern"
+}
+
+// Hardware is the evaluation-platform configuration (a 532 MHz
+// ARM1136 on a KZM board, §5.1).
+type Hardware = arch.Config
+
+// EntryPoint names a kernel exception vector.
+type EntryPoint string
+
+// The four analysed kernel entry points (§5.2).
+const (
+	Syscall     EntryPoint = kbin.EntrySyscall
+	Interrupt   EntryPoint = kbin.EntryInterrupt
+	PageFault   EntryPoint = kbin.EntryPageFault
+	UndefinedIn EntryPoint = kbin.EntryUndefined
+)
+
+// EntryPoints lists the analysed vectors in the paper's table order.
+func EntryPoints() []EntryPoint {
+	return []EntryPoint{Syscall, UndefinedIn, PageFault, Interrupt}
+}
+
+// Label returns the paper's row label for an entry point.
+func (e EntryPoint) Label() string {
+	switch e {
+	case Syscall:
+		return "System call"
+	case Interrupt:
+		return "Interrupt"
+	case PageFault:
+		return "Page fault"
+	case UndefinedIn:
+		return "Undefined instruction"
+	default:
+		return string(e)
+	}
+}
+
+// Image is a built kernel binary plus its infeasible-path constraints.
+type Image struct {
+	Img         *kimage.Image
+	Constraints []wcet.UserConstraint
+	Variant     Variant
+	Pinned      bool
+}
+
+// BuildImage constructs the synthetic kernel binary for a variant,
+// optionally with the §4 pin set.
+func BuildImage(v Variant, pinned bool) (*Image, error) {
+	img, cons, err := kbin.Build(kbin.Options{Modernised: v == Modern, Pinned: pinned})
+	if err != nil {
+		return nil, err
+	}
+	return &Image{Img: img, Constraints: cons, Variant: v, Pinned: pinned}, nil
+}
+
+// Bound is one entry point's analysis outcome.
+type Bound struct {
+	Entry EntryPoint
+	// Cycles is the computed WCET upper bound; Micros its value on
+	// the 532 MHz clock.
+	Cycles uint64
+	Micros float64
+	// Result carries the full analysis artefacts (CFG, worst path,
+	// ILP sizes, timings).
+	Result *wcet.Result
+}
+
+// Analyze computes the WCET bound of one entry point under the given
+// hardware configuration.
+func (im *Image) Analyze(hw Hardware, e EntryPoint) (Bound, error) {
+	a := wcet.New(im.Img, hw)
+	a.AddConstraints(im.Constraints...)
+	r, err := a.Analyze(string(e))
+	if err != nil {
+		return Bound{}, err
+	}
+	return Bound{Entry: e, Cycles: r.Cycles, Micros: r.Micros, Result: r}, nil
+}
+
+// AnalyzeWithLP is Analyze but additionally captures the generated
+// integer linear program in Result.LPText — the artefact the paper's
+// toolchain handed to its off-the-shelf solver (§5.2).
+func (im *Image) AnalyzeWithLP(hw Hardware, e EntryPoint) (Bound, error) {
+	a := wcet.New(im.Img, hw)
+	a.AddConstraints(im.Constraints...)
+	a.KeepLP = true
+	r, err := a.Analyze(string(e))
+	if err != nil {
+		return Bound{}, err
+	}
+	return Bound{Entry: e, Cycles: r.Cycles, Micros: r.Micros, Result: r}, nil
+}
+
+// VerifyLoopBounds cross-checks the image's loop annotations against
+// the §5.3 model-checked bounds, returning an error for any annotation
+// the models prove unsound.
+func (im *Image) VerifyLoopBounds() error {
+	models, err := kbin.LoopModels(kbin.Options{Modernised: im.Variant == Modern, Pinned: im.Pinned}, im.Img)
+	if err != nil {
+		return err
+	}
+	return wcet.VerifyBounds(im.Img, models)
+}
+
+// Observe replays a bound's worst-case path on the simulated hardware
+// from `runs` adversarial polluted cache states and reports the worst
+// observation (§5.4).
+func (im *Image) Observe(hw Hardware, b Bound, runs int) measure.Observation {
+	return measure.Observe(im.Img, hw, b.Result.Trace, runs)
+}
+
+// --- Functional kernel facade ---
+
+// System wraps a booted functional kernel.
+type System struct {
+	*kernel.Kernel
+}
+
+// KernelConfig re-exports the kernel configuration.
+type KernelConfig = kernel.Config
+
+// ModernKernel returns the improved kernel's configuration.
+func ModernKernel() KernelConfig { return kernel.Modern() }
+
+// OriginalKernel returns the pre-modification configuration.
+func OriginalKernel() KernelConfig { return kernel.Original() }
+
+// Boot starts a functional kernel.
+func Boot(cfg KernelConfig) (*System, error) {
+	k, err := kernel.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Kernel: k}, nil
+}
+
+// BootVariant boots the functional kernel matching an analysis
+// variant.
+func BootVariant(v Variant) (*System, error) {
+	if v == Modern {
+		return Boot(kernel.Modern())
+	}
+	return Boot(kernel.Original())
+}
+
+// Re-exported object and subsystem types, forming the public API
+// surface for examples and downstream users.
+type (
+	// TCB is a thread control block.
+	TCB = kobj.TCB
+	// Endpoint is an IPC endpoint.
+	Endpoint = kobj.Endpoint
+	// Notification is an asynchronous signalling object.
+	Notification = kobj.Notification
+	// ObjType enumerates kernel object types.
+	ObjType = kobj.ObjType
+)
+
+// Re-exported object type constants.
+const (
+	TypeTCB           = kobj.TypeTCB
+	TypeEndpoint      = kobj.TypeEndpoint
+	TypeNotification  = kobj.TypeNotification
+	TypeCNode         = kobj.TypeCNode
+	TypeFrame         = kobj.TypeFrame
+	TypePageTable     = kobj.TypePageTable
+	TypePageDirectory = kobj.TypePageDirectory
+)
+
+// SchedulerKind re-exports the scheduler designs.
+type SchedulerKind = sched.Kind
+
+// Scheduler designs (§3.1–3.2).
+const (
+	LazyScheduler   = sched.Lazy
+	BennoScheduler  = sched.Benno
+	BitmapScheduler = sched.BennoBitmap
+)
+
+// VSpaceDesign re-exports the address-space designs (§3.6).
+type VSpaceDesign = vspace.Design
+
+// Address-space designs.
+const (
+	ASIDVSpace   = vspace.ASIDDesign
+	ShadowVSpace = vspace.ShadowDesign
+)
+
+// CyclesToMicros converts simulated cycles to microseconds at 532 MHz.
+func CyclesToMicros(c uint64) float64 { return arch.CyclesToMicros(c) }
+
+// BuildAdversarialCSpace constructs the Fig. 7 worst-case capability
+// space — a chain of radix-1 CNodes so that decoding consumes one
+// address bit per level — gives it to the thread as its capability
+// space, and returns a capability address whose decode traverses all
+// `levels` levels to reach a fresh endpoint. The paper's worst-case
+// system call decodes such an address up to 11 times (§6.1).
+func (s *System) BuildAdversarialCSpace(t *TCB, levels int) (uint32, error) {
+	if levels < 1 || levels > 32 {
+		return 0, fmt.Errorf("verikern: levels must be in [1,32], got %d", levels)
+	}
+	mgr := s.Objects()
+	epObjs, err := mgr.Retype(s.RootUntyped(), kobj.TypeEndpoint, 0, 1)
+	if err != nil {
+		return 0, err
+	}
+	leaf := kobj.Cap{Type: kobj.CapEndpoint, Obj: epObjs[0], Rights: kobj.RightsAll}
+	next := leaf
+	for l := 0; l < levels; l++ {
+		guard := uint8(0)
+		if l == levels-1 {
+			// The outermost CNode absorbs the remaining
+			// address bits in its guard so the address is
+			// exactly 32 bits.
+			guard = uint8(32 - levels)
+		}
+		cnObjs, err := mgr.Retype(s.RootUntyped(), kobj.TypeCNode, 1, 1)
+		if err != nil {
+			return 0, err
+		}
+		cn := cnObjs[0].(*kobj.CNode)
+		cn.Name = fmt.Sprintf("adv-l%d", levels-l)
+		cn.GuardBits = guard
+		cn.Slots[1].Cap = next
+		next = kobj.Cap{Type: kobj.CapCNode, Obj: cn, Rights: kobj.RightsAll}
+	}
+	t.CSpaceRoot = next
+	// Address: guard zeros, then bit 1 at every level.
+	var addr uint32
+	for l := 0; l < levels; l++ {
+		addr = addr<<1 | 1
+	}
+	return addr, nil
+}
