@@ -16,6 +16,7 @@ import (
 	"verikern/internal/ilp"
 	"verikern/internal/kernel"
 	"verikern/internal/kobj"
+	"verikern/internal/obs"
 	"verikern/internal/sched"
 	"verikern/internal/wcet"
 )
@@ -571,4 +572,67 @@ func BenchmarkAblationTCM(b *testing.B) {
 	b.ReportMetric(float64(r.BaselineCycles), "irq-baseline")
 	b.ReportMetric(float64(r.PinnedCycles), "irq-pinned")
 	b.ReportMetric(float64(r.TCMCycles), "irq-tcm")
+}
+
+// --- Observability benches ---
+
+// BenchmarkTracerOverhead runs the fastpath IPC round with tracing
+// detached and attached. The disabled case is the acceptance criterion:
+// every emit site reduces to one predictable nil check, so the two
+// sub-benchmarks must be within noise of each other.
+func BenchmarkTracerOverhead(b *testing.B) {
+	run := func(b *testing.B, tracer *obs.Tracer) {
+		sys, err := Boot(ModernKernel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tracer != nil {
+			sys.SetTracer(tracer)
+		}
+		server, _ := sys.CreateThread("server", 200)
+		sys.StartThread(server)
+		client, _ := sys.CreateThread("client", 100)
+		sys.StartThread(client)
+		eps, err := sys.CreateObjects(client, TypeEndpoint, 0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Recv(server, eps[0]); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sys.Send(client, eps[0], 2, nil, false); err != nil {
+				b.Fatal(err)
+			}
+			server.State = kobj.ThreadRunning
+			if err := sys.Recv(server, eps[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("enabled", func(b *testing.B) { run(b, obs.NewTracer(1<<16)) })
+}
+
+// BenchmarkObsEmit isolates the tracer's own cost: the nil-receiver
+// fast path (what a production build pays everywhere) and a live emit
+// into the preallocated ring (which must not allocate).
+func BenchmarkObsEmit(b *testing.B) {
+	b.Run("nil", func(b *testing.B) {
+		var tr *obs.Tracer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.Emit(obs.KindPreemptHit, uint64(i), 0, 0)
+		}
+	})
+	b.Run("live", func(b *testing.B) {
+		tr := obs.NewTracer(1 << 12)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Emit(obs.KindIRQService, uint64(i), uint64(i%512), 0)
+		}
+	})
 }

@@ -12,16 +12,20 @@
 //
 // Usage:
 //
-//	kzm-sim [-variant modern|original] [-waiters N] [-period CYCLES] [-verbose]
+//	kzm-sim [-variant modern|original] [-waiters N] [-period CYCLES]
+//	        [-trace out.json] [-verbose]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"verikern"
+	"verikern/internal/arch"
 	"verikern/internal/measure"
+	"verikern/internal/obs"
 )
 
 func main() {
@@ -30,6 +34,7 @@ func main() {
 	variantName := flag.String("variant", "modern", "kernel variant: modern or original")
 	waiters := flag.Int("waiters", 256, "threads queued on the victim endpoint")
 	period := flag.Uint64("period", 40_000, "timer interrupt period in cycles")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of kernel events")
 	verbose := flag.Bool("verbose", false, "print per-phase detail")
 	flag.Parse()
 
@@ -40,6 +45,11 @@ func main() {
 	sys, err := verikern.BootVariant(variant)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(1 << 16)
+		sys.SetTracer(tracer)
 	}
 
 	adversary, err := sys.CreateThread("adversary", 100)
@@ -54,6 +64,9 @@ func main() {
 		if err := fn(); err != nil && *verbose {
 			log.Printf("%s: %v", name, err)
 		}
+		// A scheduling pass between phases, standing in for the
+		// real-time task's release point.
+		sys.Yield()
 		if *verbose {
 			n := len(sys.Latencies()) - start
 			worst := uint64(0)
@@ -134,4 +147,22 @@ func main() {
 		log.Fatalf("INVARIANT VIOLATION: %v", err)
 	}
 	fmt.Println("invariants:    all checks passed at every preemption point and kernel exit")
+
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Timestamps are cycles on the 532 MHz clock; scale them so
+		// the viewer's time axis reads in real microseconds.
+		if err := tracer.WriteChromeTrace(f, arch.ClockHz/1e6); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntrace:         %d events (%d dropped) written to %s\n",
+			tracer.Emitted()-tracer.Dropped(), tracer.Dropped(), *tracePath)
+		fmt.Print(tracer.Summary())
+	}
 }

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	paper [-runs N] [-table 1|2] [-figure 8|9] [-headline]
-//	      [-ablations] [-json]
+//	      [-ablations] [-json] [-trace out.json]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"verikern"
+	"verikern/internal/obs"
 )
 
 func main() {
@@ -29,7 +30,15 @@ func main() {
 	headline := flag.Bool("headline", false, "print only the headline latency")
 	asJSON := flag.Bool("json", false, "emit all results as JSON instead of formatted tables")
 	ablations := flag.Bool("ablations", false, "print the design-space ablations (L2 locking, TCM, clearing granularity)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of analysis-pipeline stages")
 	flag.Parse()
+
+	var metrics *obs.Metrics
+	if *tracePath != "" {
+		metrics = obs.NewMetrics()
+		verikern.ObservePipeline(metrics)
+		defer writePipelineTrace(metrics, *tracePath)
+	}
 
 	if *asJSON {
 		emitJSON(*runs)
@@ -101,7 +110,23 @@ func main() {
 			fmt.Printf("  %-24s %v\n", e.Label(), times[e])
 		}
 	}
-	os.Exit(0)
+}
+
+// writePipelineTrace dumps the collected stage timings and counters as
+// a Chrome trace plus a plain-text summary on stdout.
+func writePipelineTrace(m *obs.Metrics, path string) {
+	snap := m.Stats()
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := snap.WriteChromeTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAnalysis pipeline stats (trace written to %s):\n%s", path, snap)
 }
 
 // printAblations renders the design-space experiments beyond the

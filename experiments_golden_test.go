@@ -1,0 +1,119 @@
+package verikern
+
+// Golden-file tests for the paper-table formatters. The row data is
+// fixed and synthetic — these lock down the rendered layout (column
+// widths, headers, unit suffixes), which cmd/paper prints and which
+// downstream plot scripts scrape, without re-running the analyses.
+//
+// Regenerate after an intentional layout change with:
+//
+//	go test -run TestGolden -update .
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current formatter output")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "goldens", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (re-run with -update if the change is intended)\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+func goldenTable1Rows() []Table1Row {
+	rows := make([]Table1Row, 0, 4)
+	for i, e := range EntryPoints() {
+		base := float64(100 * (i + 1))
+		rows = append(rows, Table1Row{
+			Entry:         e,
+			WithoutMicros: base,
+			WithMicros:    base * 0.8,
+			GainPercent:   20,
+			WithoutCycles: uint64(base * 532),
+			WithCycles:    uint64(base * 0.8 * 532),
+		})
+	}
+	return rows
+}
+
+func TestGoldenTable1(t *testing.T) {
+	checkGolden(t, "table1.txt", FormatTable1(goldenTable1Rows()))
+}
+
+func TestGoldenTable2(t *testing.T) {
+	rows := make([]Table2Row, 0, 4)
+	for i, e := range EntryPoints() {
+		c := float64(50 * (i + 1))
+		mk := func(scale float64) Table2Cell {
+			return Table2Cell{
+				ComputedMicros: c * scale,
+				ObservedMicros: c * scale / 2,
+				Ratio:          2,
+				ComputedCycles: uint64(c * scale * 532),
+				ObservedCycles: uint64(c * scale / 2 * 532),
+			}
+		}
+		rows = append(rows, Table2Row{
+			Entry:       e,
+			BeforeL2Off: c * 10,
+			L2Off:       mk(1),
+			L2On:        mk(1.5),
+		})
+	}
+	checkGolden(t, "table2.txt", FormatTable2(rows))
+}
+
+func TestGoldenFig8(t *testing.T) {
+	var bars []Fig8Bar
+	for i, e := range EntryPoints() {
+		bars = append(bars,
+			Fig8Bar{Entry: e, L2Enabled: true, OverestimationPercent: float64(10 * (i + 1))},
+			Fig8Bar{Entry: e, L2Enabled: false, OverestimationPercent: float64(5 * (i + 1))},
+		)
+	}
+	checkGolden(t, "fig8.txt", FormatFig8(bars))
+}
+
+func TestGoldenFig9(t *testing.T) {
+	var bars []Fig9Bar
+	for _, e := range EntryPoints() {
+		for j, cfg := range Fig9Configs {
+			bars = append(bars, Fig9Bar{
+				Entry:      e,
+				Config:     cfg.Name,
+				Normalised: 1 + float64(j)*0.25,
+			})
+		}
+	}
+	checkGolden(t, "fig9.txt", FormatFig9(bars))
+}
+
+// TestGoldenStableUnderReformat guards the invariant the goldens rely
+// on: formatting the same rows twice yields byte-identical output (no
+// map-iteration or time dependence in the renderers).
+func TestGoldenStableUnderReformat(t *testing.T) {
+	rows := goldenTable1Rows()
+	if FormatTable1(rows) != FormatTable1(rows) {
+		t.Error("FormatTable1 is not deterministic")
+	}
+}

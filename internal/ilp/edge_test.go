@@ -1,0 +1,190 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSolveEdgeCases drives the solver through the degenerate shapes a
+// malformed IPET encoding can produce — no variables, no constraints,
+// contradictions, unbounded rays, variables pinned before the simplex
+// runs — and asserts the reported Status (by its wire string, which is
+// what error messages and logs carry) plus the Pivots accounting.
+func TestSolveEdgeCases(t *testing.T) {
+	cases := []struct {
+		name      string
+		build     func() *Problem
+		status    string
+		value     float64 // checked only when optimal
+		wantsWork bool    // expect at least one simplex pivot
+	}{
+		{
+			name:   "empty problem",
+			build:  func() *Problem { return NewProblem() },
+			status: "optimal",
+			value:  0,
+		},
+		{
+			name: "vars but no constraints, zero objective",
+			build: func() *Problem {
+				p := NewProblem()
+				p.AddVar("x", 0, false)
+				p.AddVar("y", 0, false)
+				return p
+			},
+			status: "optimal",
+			value:  0,
+		},
+		{
+			name: "vars but no constraints, positive objective",
+			build: func() *Problem {
+				p := NewProblem()
+				p.AddVar("x", 1, false)
+				return p
+			},
+			status: "unbounded",
+		},
+		{
+			name: "contradictory bounds",
+			build: func() *Problem {
+				p := NewProblem()
+				x := p.AddVar("x", 1, false)
+				p.AddConstraint(Constraint{Coeffs: map[int]float64{x: 1}, Sense: LE, RHS: 1})
+				p.AddConstraint(Constraint{Coeffs: map[int]float64{x: 1}, Sense: GE, RHS: 5})
+				return p
+			},
+			status:    "infeasible",
+			wantsWork: true,
+		},
+		{
+			name: "zero-RHS equality forces everything to zero",
+			build: func() *Problem {
+				p := NewProblem()
+				x := p.AddVar("x", 3, false)
+				y := p.AddVar("y", 2, false)
+				p.AddConstraint(Constraint{Coeffs: map[int]float64{x: 1, y: 1}, Sense: EQ, RHS: 0})
+				return p
+			},
+			status: "optimal",
+			value:  0,
+		},
+		{
+			name: "unbounded ray despite one binding constraint",
+			build: func() *Problem {
+				p := NewProblem()
+				x := p.AddVar("x", 1, false)
+				y := p.AddVar("y", 1, false)
+				// Only x is bounded; y can grow without limit.
+				p.AddConstraint(Constraint{Coeffs: map[int]float64{x: 1}, Sense: LE, RHS: 4})
+				_ = y
+				return p
+			},
+			status: "unbounded",
+		},
+		{
+			name: "integer infeasible from fractional-only window",
+			build: func() *Problem {
+				p := NewProblem()
+				// 2x = 1 has the LP solution x = 0.5 and no integer one.
+				x := p.AddVar("x", 1, true)
+				p.AddConstraint(Constraint{Coeffs: map[int]float64{x: 2}, Sense: EQ, RHS: 1})
+				return p
+			},
+			status:    "infeasible",
+			wantsWork: true,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sol, err := Solve(c.build())
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			if got := sol.Status.String(); got != c.status {
+				t.Fatalf("status = %q, want %q", got, c.status)
+			}
+			if c.status == "optimal" && math.Abs(sol.Value-c.value) > tol {
+				t.Errorf("value = %v, want %v", sol.Value, c.value)
+			}
+			if sol.Pivots < 0 {
+				t.Errorf("negative pivot count %d", sol.Pivots)
+			}
+			if c.wantsWork && sol.Pivots == 0 {
+				t.Errorf("solver reported 0 pivots for a problem requiring simplex work")
+			}
+		})
+	}
+}
+
+// TestPresolveAlreadyFixedVars: re-presolving a problem whose zero
+// variables were already eliminated must be a no-op — same fix count
+// semantics, same optimum, stable variable indices.
+func TestPresolveAlreadyFixedVars(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar("x", 5, false)
+	y := p.AddVar("y", 3, false)
+	z := p.AddVar("z", 2, false)
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{x: 1}, Sense: LE, RHS: 0}) // x := 0
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{y: 1, x: 1}, Sense: LE, RHS: 7})
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{z: 1}, Sense: LE, RHS: 4})
+
+	fixed1, st1 := Presolve(p)
+	if st1.String() != "optimal" || fixed1 != 1 {
+		t.Fatalf("first presolve: fixed=%d status=%v, want 1/optimal", fixed1, st1)
+	}
+	if p.NumVars() != 3 {
+		t.Fatalf("presolve removed variables: NumVars=%d, want 3 (indices must stay stable)", p.NumVars())
+	}
+
+	fixed2, st2 := Presolve(p)
+	if st2.String() != "optimal" || fixed2 != 0 {
+		t.Fatalf("second presolve: fixed=%d status=%v, want 0/optimal (idempotent)", fixed2, st2)
+	}
+
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status.String() != "optimal" || math.Abs(sol.Value-29) > tol {
+		t.Fatalf("post-presolve solve = %v/%v, want optimal/29 (3*7 + 2*4)", sol.Status, sol.Value)
+	}
+	if sol.X[x] > tol {
+		t.Errorf("fixed variable x = %v, want 0", sol.X[x])
+	}
+	if math.Abs(sol.X[y]-7) > tol || math.Abs(sol.X[z]-4) > tol {
+		t.Errorf("solution x=%v, want y=7 z=4", sol.X)
+	}
+}
+
+// TestPivotsAccumulateAcrossBranchAndBound: an integer problem that
+// needs branching must report strictly more pivots than its LP
+// relaxation alone.
+func TestPivotsAccumulateAcrossBranchAndBound(t *testing.T) {
+	build := func(integer bool) *Problem {
+		p := NewProblem()
+		x := p.AddVar("x", 5, integer)
+		y := p.AddVar("y", 4, integer)
+		p.AddConstraint(Constraint{Coeffs: map[int]float64{x: 6, y: 4}, Sense: LE, RHS: 24})
+		p.AddConstraint(Constraint{Coeffs: map[int]float64{x: 1, y: 2}, Sense: LE, RHS: 6})
+		return p
+	}
+	relaxed, err := Solve(build(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	integral, err := Solve(build(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LP optimum is fractional (x=3, y=1.5), so the integer solve must
+	// branch and therefore pivot more.
+	if relaxed.Status != Optimal || integral.Status != Optimal {
+		t.Fatalf("status relaxed=%v integral=%v", relaxed.Status, integral.Status)
+	}
+	if integral.Value > relaxed.Value+tol {
+		t.Errorf("integer optimum %v exceeds relaxation %v", integral.Value, relaxed.Value)
+	}
+	if integral.Pivots <= relaxed.Pivots {
+		t.Errorf("B&B pivots %d not greater than root LP's %d", integral.Pivots, relaxed.Pivots)
+	}
+}

@@ -114,6 +114,10 @@ type Solution struct {
 	Value float64
 	// X holds the variable values (meaningful when Optimal).
 	X []float64
+	// Pivots counts simplex pivots across both phases and all
+	// branch-and-bound nodes — the solver-effort metric the
+	// pipeline's Stats() reports.
+	Pivots int
 }
 
 const (
@@ -172,6 +176,12 @@ func branchAndBound(p *Problem, root *Solution) (*Solution, error) {
 	var best *Solution
 	stack := []node{{relax: root.Value}}
 	nodes := 0
+	pivots := root.Pivots
+	defer func() {
+		if best != nil {
+			best.Pivots = pivots
+		}
+	}()
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -186,6 +196,7 @@ func branchAndBound(p *Problem, root *Solution) (*Solution, error) {
 		if err != nil {
 			return nil, err
 		}
+		pivots += lp.Pivots
 		if lp.Status != Optimal {
 			continue
 		}
@@ -216,7 +227,7 @@ func branchAndBound(p *Problem, root *Solution) (*Solution, error) {
 		stack = append(stack, node{bounds: down, relax: lp.Value}, node{bounds: up, relax: lp.Value})
 	}
 	if best == nil {
-		return &Solution{Status: Infeasible}, nil
+		return &Solution{Status: Infeasible, Pivots: pivots}, nil
 	}
 	return best, nil
 }
@@ -312,6 +323,7 @@ func solveLP(p *Problem, extra []bound) (*Solution, error) {
 	}
 
 	z := tab[m]
+	pivots := 0
 	if nArt > 0 {
 		// Phase 1: minimise sum of artificials == maximise
 		// -(sum). z-row starts as the sum of all artificial rows
@@ -330,11 +342,13 @@ func solveLP(p *Problem, extra []bound) (*Solution, error) {
 		for _, c := range artCols {
 			z[c] = 0
 		}
-		if err := pivotLoop(tab, basis, total); err != nil {
+		n1, err := pivotLoop(tab, basis, total)
+		pivots += n1
+		if err != nil {
 			return nil, err
 		}
 		if z[total] < -1e-6 {
-			return &Solution{Status: Infeasible}, nil
+			return &Solution{Status: Infeasible, Pivots: pivots}, nil
 		}
 		// Drive artificials out of the basis where possible.
 		for i := 0; i < m; i++ {
@@ -345,6 +359,7 @@ func solveLP(p *Problem, extra []bound) (*Solution, error) {
 			for j := 0; j < n+nSlack; j++ {
 				if math.Abs(tab[i][j]) > tol {
 					pivot(tab, basis, i, j, total)
+					pivots++
 					pivoted = true
 					break
 				}
@@ -384,9 +399,11 @@ func solveLP(p *Problem, extra []bound) (*Solution, error) {
 			}
 		}
 	}
-	if err := pivotLoop(tab, basis, total); err != nil {
+	n2, err := pivotLoop(tab, basis, total)
+	pivots += n2
+	if err != nil {
 		if err == errUnbounded {
-			return &Solution{Status: Unbounded}, nil
+			return &Solution{Status: Unbounded, Pivots: pivots}, nil
 		}
 		return nil, err
 	}
@@ -397,24 +414,24 @@ func solveLP(p *Problem, extra []bound) (*Solution, error) {
 			x[basis[i]] = tab[i][total]
 		}
 	}
-	return &Solution{Status: Optimal, Value: z[total], X: x}, nil
+	return &Solution{Status: Optimal, Value: z[total], X: x, Pivots: pivots}, nil
 }
 
 func isArt(col, artStart int) bool { return col >= artStart }
 
 var errUnbounded = fmt.Errorf("ilp: unbounded")
 
-// pivotLoop runs simplex pivots until optimality. It uses Dantzig's
-// rule with a switch to Bland's rule after a stall budget, guaranteeing
-// termination.
-func pivotLoop(tab [][]float64, basis []int, total int) error {
+// pivotLoop runs simplex pivots until optimality, returning the number
+// of pivots performed. It uses Dantzig's rule with a switch to Bland's
+// rule after a stall budget, guaranteeing termination.
+func pivotLoop(tab [][]float64, basis []int, total int) (int, error) {
 	m := len(basis)
 	z := tab[m]
 	maxIters := 200 * (m + total + 1)
 	blandAfter := maxIters / 2
 	for iter := 0; ; iter++ {
 		if iter > maxIters {
-			return fmt.Errorf("ilp: simplex did not converge in %d iterations", maxIters)
+			return iter, fmt.Errorf("ilp: simplex did not converge in %d iterations", maxIters)
 		}
 		// Entering column: most negative reduced cost (Dantzig),
 		// or first negative (Bland).
@@ -436,7 +453,7 @@ func pivotLoop(tab [][]float64, basis []int, total int) error {
 			}
 		}
 		if col < 0 {
-			return nil // optimal
+			return iter, nil // optimal
 		}
 		// Ratio test; Bland tie-break on basis index.
 		row, bestRatio := -1, math.Inf(1)
@@ -452,7 +469,7 @@ func pivotLoop(tab [][]float64, basis []int, total int) error {
 			}
 		}
 		if row < 0 {
-			return errUnbounded
+			return iter, errUnbounded
 		}
 		pivot(tab, basis, row, col, total)
 	}

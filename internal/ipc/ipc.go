@@ -13,6 +13,7 @@ package ipc
 import (
 	"verikern/internal/kobj"
 	"verikern/internal/ktime"
+	"verikern/internal/obs"
 	"verikern/internal/sched"
 )
 
@@ -81,6 +82,9 @@ type Env struct {
 	// Preempt reports whether an interrupt is pending; consulted
 	// only at preemption points.
 	Preempt func() bool
+	// Tracer receives ipc-abort and ep-delete events; nil disables
+	// emission.
+	Tracer *obs.Tracer
 }
 
 func (e *Env) charge(c uint64) { e.Clock.Advance(c) }
@@ -115,6 +119,16 @@ func dequeueEP(ep *kobj.Endpoint, t *kobj.TCB) {
 	if ep.QHead == nil {
 		ep.State = kobj.EPIdle
 	}
+}
+
+// waitersLeft counts the threads still queued on ep; used only for
+// trace-event annotation, so its cost is not charged to the clock.
+func waitersLeft(ep *kobj.Endpoint) uint64 {
+	var n uint64
+	for t := ep.QHead; t != nil; t = t.EPNext {
+		n++
+	}
+	return n
 }
 
 // transfer models the message copy from sender to receiver.
@@ -282,6 +296,7 @@ func DeleteEndpoint(e *Env, ep *kobj.Endpoint) Outcome {
 		t.RestartPC = true
 		e.charge(CostDeleteEntry)
 		e.charge(e.Sched.Enqueue(t))
+		e.Tracer.Emit(obs.KindEPDelete, e.Clock.Now(), waitersLeft(ep), 0)
 		if ep.QHead != nil && e.Preempt() {
 			return Preempted
 		}
@@ -328,6 +343,7 @@ func runAbort(e *Env, ep *kobj.Endpoint) Outcome {
 			t.State = kobj.ThreadRunnable
 			t.RestartPC = true
 			e.charge(e.Sched.Enqueue(t))
+			e.Tracer.Emit(obs.KindIPCAbort, e.Clock.Now(), uint64(ep.AbortBadge), 0)
 		}
 		if atEnd {
 			ep.AbortCursor = nil

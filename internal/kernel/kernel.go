@@ -25,6 +25,7 @@ import (
 	"verikern/internal/ipc"
 	"verikern/internal/kobj"
 	"verikern/internal/ktime"
+	"verikern/internal/obs"
 	"verikern/internal/sched"
 	"verikern/internal/vspace"
 )
@@ -143,6 +144,11 @@ type Kernel struct {
 	stats      Stats
 	violations []invariant.Violation
 
+	// tracer, when set, receives kernel trace events. A nil tracer
+	// costs one predictable branch per potential event, keeping the
+	// disabled-tracing cycle behaviour identical to the seed.
+	tracer *obs.Tracer
+
 	rootUntyped *kobj.Untyped
 	rootCNode   *kobj.CNode
 
@@ -188,6 +194,18 @@ func New(cfg Config) (*Kernel, error) {
 
 // Config returns the kernel's configuration.
 func (k *Kernel) Config() Config { return k.cfg }
+
+// SetTracer attaches an event tracer to the kernel and its scheduler.
+// Pass nil to disable tracing.
+func (k *Kernel) SetTracer(t *obs.Tracer) {
+	k.tracer = t
+	if ts, ok := k.sched.(sched.Traceable); ok {
+		ts.SetTrace(t, &k.clock)
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (k *Kernel) Tracer() *obs.Tracer { return k.tracer }
 
 // Now returns the simulated cycle clock.
 func (k *Kernel) Now() uint64 { return k.clock.Now() }
@@ -252,6 +270,7 @@ func (k *Kernel) RaiseIRQ() {
 	if !k.irqPending {
 		k.irqPending = true
 		k.irqRaisedAt = k.clock.Now()
+		k.tracer.Emit(obs.KindIRQRaise, k.irqRaisedAt, 0, 0)
 	}
 }
 
@@ -262,6 +281,7 @@ func (k *Kernel) pollIRQ() bool {
 		if !k.irqPending {
 			k.irqPending = true
 			k.irqRaisedAt = k.timerAt
+			k.tracer.Emit(obs.KindIRQRaise, k.irqRaisedAt, 0, 0)
 		}
 		if k.timerPeriod > 0 {
 			// Periodic: re-arm past 'now'; releases the line
@@ -284,7 +304,12 @@ func (k *Kernel) preempt() bool {
 	if !k.cfg.PreemptionPoints {
 		return false
 	}
-	return k.pollIRQ()
+	k.tracer.Emit(obs.KindPreemptHit, k.clock.Now(), 0, 0)
+	if k.pollIRQ() {
+		k.tracer.Emit(obs.KindPreemptTaken, k.clock.Now(), 0, 0)
+		return true
+	}
+	return false
 }
 
 // serviceIRQ runs the kernel's interrupt path and records the response
@@ -295,6 +320,7 @@ func (k *Kernel) serviceIRQ() {
 	}
 	k.clock.Advance(CostIRQPath)
 	lat := k.clock.Now() - k.irqRaisedAt
+	k.tracer.Emit(obs.KindIRQService, k.clock.Now(), lat, 0)
 	k.latencies = append(k.latencies, lat)
 	if lat > k.maxLatency {
 		k.maxLatency = lat
@@ -306,7 +332,7 @@ func (k *Kernel) serviceIRQ() {
 
 // ipcEnv builds the Env handed to the IPC layer.
 func (k *Kernel) ipcEnv() *ipc.Env {
-	return &ipc.Env{Clock: &k.clock, Sched: k.sched, Preempt: k.preempt}
+	return &ipc.Env{Clock: &k.clock, Sched: k.sched, Preempt: k.preempt, Tracer: k.tracer}
 }
 
 // vsEnv builds the Env handed to the vspace layer.

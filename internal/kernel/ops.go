@@ -5,6 +5,7 @@ import (
 
 	"verikern/internal/ipc"
 	"verikern/internal/kobj"
+	"verikern/internal/obs"
 	"verikern/internal/vspace"
 )
 
@@ -294,6 +295,7 @@ func (k *Kernel) CreateObjects(t *kobj.TCB, ot kobj.ObjType, param uint8, count 
 			}
 			k.clock.Advance(uint64(vspace.CostClear1K) * uint64(chunk) / 1024)
 			prog.remaining -= chunk
+			k.tracer.Emit(obs.KindCreateChunk, k.clock.Now(), uint64(chunk), uint64(prog.remaining))
 			if prog.remaining > 0 && k.preempt() {
 				return opPreempted
 			}

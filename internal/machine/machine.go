@@ -11,6 +11,7 @@ import (
 	"verikern/internal/arch"
 	"verikern/internal/cache"
 	"verikern/internal/kimage"
+	"verikern/internal/obs"
 	"verikern/internal/pipeline"
 )
 
@@ -41,7 +42,13 @@ type Machine struct {
 	// execIndex tracks, per instruction, how many times it has run
 	// in the current trace, to resolve strided data references.
 	execIndex map[*kimage.Block][]uint64
+	// tracer, when set, receives one replay event per Run.
+	tracer *obs.Tracer
 }
+
+// SetTracer attaches a tracer; each Run then emits one replay event
+// carrying the trace's cycle count and block count.
+func (m *Machine) SetTracer(t *obs.Tracer) { m.tracer = t }
 
 // New constructs a machine for the platform configuration. Cache
 // geometries are fixed by the platform (arch); cfg selects L2
@@ -237,6 +244,7 @@ func (m *Machine) Run(trace []*kimage.Block) uint64 {
 		}
 		total += m.ExecBlock(b, taken)
 	}
+	m.tracer.Emit(obs.KindReplay, m.counters.Cycles, total, uint64(len(trace)))
 	return total
 }
 

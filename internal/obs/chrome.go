@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace_event sinks. The output is the JSON object format of
+// the Trace Event spec ({"traceEvents": [...]}) understood by
+// chrome://tracing and Perfetto. Kernel events become instant events
+// ("ph":"i") on one timeline; pipeline stages become complete events
+// ("ph":"X") with durations.
+
+// ChromeEvent is one trace_event record. Exported so tests can
+// round-trip the emitted JSON against the schema.
+type ChromeEvent struct {
+	Name string `json:"name"`
+	// Ph is the event phase: "i" (instant), "X" (complete), "M"
+	// (metadata).
+	Ph string `json:"ph"`
+	// TS is the event timestamp in microseconds.
+	TS float64 `json:"ts"`
+	// Dur is the duration in microseconds (complete events only).
+	Dur float64 `json:"dur,omitempty"`
+	PID int     `json:"pid"`
+	TID int     `json:"tid"`
+	// S is the instant-event scope ("g" = global).
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace_event JSON document.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// argNames maps each kind's Arg1/Arg2 to human-readable Chrome args.
+func argNames(k Kind) (string, string) {
+	switch k {
+	case KindIRQService:
+		return "latency-cycles", ""
+	case KindSchedPick:
+		return "prio", "bitmap-bucket"
+	case KindIPCAbort:
+		return "badge", ""
+	case KindEPDelete:
+		return "waiters-left", ""
+	case KindCreateChunk:
+		return "chunk-bytes", "remaining-bytes"
+	case KindReplay:
+		return "cycles", "blocks"
+	default:
+		return "", ""
+	}
+}
+
+// ChromeEvents converts the tracer's retained events into trace_event
+// records. cyclesPerMicro scales cycle timestamps to microseconds (532
+// for the paper's clock); values <= 0 mean "one cycle = one µs", which
+// keeps raw cycle numbers readable on the viewer's time axis.
+func (t *Tracer) ChromeEvents(cyclesPerMicro float64) []ChromeEvent {
+	if cyclesPerMicro <= 0 {
+		cyclesPerMicro = 1
+	}
+	events := t.Events()
+	out := make([]ChromeEvent, 0, len(events)+1)
+	out = append(out, ChromeEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: 1,
+		Args: map[string]any{"name": "verikern kernel"},
+	})
+	for _, e := range events {
+		ce := ChromeEvent{
+			Name: e.Kind.String(),
+			Ph:   "i",
+			TS:   float64(e.TS) / cyclesPerMicro,
+			PID:  1,
+			TID:  1,
+			S:    "g",
+			Args: map[string]any{"cycle": e.TS},
+		}
+		n1, n2 := argNames(e.Kind)
+		if n1 != "" {
+			if e.Kind == KindSchedPick && e.Arg1 == IdleArg {
+				ce.Args[n1] = "idle"
+			} else {
+				ce.Args[n1] = e.Arg1
+			}
+		}
+		if n2 != "" {
+			ce.Args[n2] = e.Arg2
+		}
+		out = append(out, ce)
+	}
+	return out
+}
+
+// WriteChromeTrace writes the tracer's retained events as a Chrome
+// trace_event JSON document.
+func (t *Tracer) WriteChromeTrace(w io.Writer, cyclesPerMicro float64) error {
+	doc := ChromeTrace{TraceEvents: t.ChromeEvents(cyclesPerMicro)}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// ChromeEvents converts the snapshot's stage timings into complete
+// ("X") trace_event records on a pipeline-process timeline, with the
+// counters attached to a final metadata-style instant event.
+func (s StatsSnapshot) ChromeEvents() []ChromeEvent {
+	out := make([]ChromeEvent, 0, len(s.Stages)+2)
+	out = append(out, ChromeEvent{
+		Name: "process_name", Ph: "M", PID: 2, TID: 1,
+		Args: map[string]any{"name": "analysis pipeline"},
+	})
+	var epoch int64
+	if len(s.Stages) > 0 {
+		epoch = s.Stages[0].Start.UnixMicro()
+		for _, st := range s.Stages {
+			if us := st.Start.UnixMicro(); us < epoch {
+				epoch = us
+			}
+		}
+	}
+	for _, st := range s.Stages {
+		out = append(out, ChromeEvent{
+			Name: st.Name,
+			Ph:   "X",
+			TS:   float64(st.Start.UnixMicro() - epoch),
+			Dur:  float64(st.Duration.Microseconds()),
+			PID:  2,
+			TID:  1,
+		})
+	}
+	if len(s.Counters) > 0 {
+		args := make(map[string]any, len(s.Counters))
+		for k, v := range s.Counters {
+			args[k] = v
+		}
+		out = append(out, ChromeEvent{
+			Name: "counters", Ph: "i", TS: 0, PID: 2, TID: 1, S: "g", Args: args,
+		})
+	}
+	return out
+}
+
+// WriteChromeTrace writes the snapshot's stages and counters as a
+// Chrome trace_event JSON document.
+func (s StatsSnapshot) WriteChromeTrace(w io.Writer) error {
+	doc := ChromeTrace{TraceEvents: s.ChromeEvents()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

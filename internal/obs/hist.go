@@ -1,0 +1,112 @@
+package obs
+
+import "math/bits"
+
+// numBuckets covers the full uint64 range: bucket 0 holds the value 0,
+// bucket i (1 <= i <= 64) holds values v with bits.Len64(v) == i, i.e.
+// v in [2^(i-1), 2^i - 1].
+const numBuckets = 65
+
+// Histogram is a fixed-size logarithmic (power-of-two bucketed)
+// histogram of cycle counts. The zero value is ready to use; Record
+// never allocates, which keeps it usable from the tracer's hot path.
+//
+// Quantiles are conservative: Quantile returns the upper bound of the
+// bucket containing the requested rank (capped at the exact observed
+// maximum), so a reported p99 never understates the true p99 — the
+// right bias for latency bound checking.
+type Histogram struct {
+	counts [numBuckets]uint64
+	total  uint64
+	sum    uint64
+	max    uint64
+	min    uint64
+}
+
+// bucketOf returns the bucket index for a value.
+func bucketOf(v uint64) int { return bits.Len64(v) }
+
+// BucketUpperBound returns the largest value the bucket holds:
+// 0 for bucket 0, 2^i - 1 for bucket i.
+func BucketUpperBound(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v uint64) {
+	h.counts[bucketOf(v)]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if v < h.min || h.total == 1 {
+		h.min = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Max returns the largest recorded sample (0 if empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Min returns the smallest recorded sample (0 if empty).
+func (h *Histogram) Min() uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Mean returns the average of all samples (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// BucketCount returns the number of samples in bucket i.
+func (h *Histogram) BucketCount(i int) uint64 {
+	if i < 0 || i >= numBuckets {
+		return 0
+	}
+	return h.counts[i]
+}
+
+// Quantile returns a conservative upper bound on the q-quantile
+// (0 <= q <= 1): the upper bound of the bucket holding the sample of
+// that rank, capped at the observed maximum. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is 1-based: the smallest rank such that at least q of the
+	// samples are at or below it.
+	rank := uint64(q*float64(h.total-1)) + 1
+	var seen uint64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.counts[i]
+		if seen >= rank {
+			ub := BucketUpperBound(i)
+			if ub > h.max {
+				ub = h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}

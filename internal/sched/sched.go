@@ -23,6 +23,8 @@ import (
 	"math/bits"
 
 	"verikern/internal/kobj"
+	"verikern/internal/ktime"
+	"verikern/internal/obs"
 )
 
 // Kind selects a scheduler design.
@@ -168,6 +170,41 @@ type Scheduler interface {
 	Queues() *RunQueues
 }
 
+// Traceable is implemented by schedulers that can emit pick events:
+// the kernel hands them its tracer and cycle clock at SetTracer time.
+// Both built-in schedulers implement it.
+type Traceable interface {
+	SetTrace(t *obs.Tracer, clk *ktime.Clock)
+}
+
+// trace is the embedded emission state shared by the scheduler
+// implementations. A zero trace (nil tracer) emits nothing, at the
+// cost of one predictable branch per pick.
+type trace struct {
+	tracer *obs.Tracer
+	clock  *ktime.Clock
+}
+
+func (tr *trace) SetTrace(t *obs.Tracer, clk *ktime.Clock) {
+	tr.tracer = t
+	tr.clock = clk
+}
+
+// pick emits a KindSchedPick event for the chosen thread. arg2 is the
+// design-specific detail: the two-level bitmap bucket for
+// benno+bitmap, or the number of lazily dequeued blocked threads for
+// the lazy design.
+func (tr *trace) pick(t *kobj.TCB, arg2 uint64) {
+	if tr.tracer == nil {
+		return
+	}
+	prio := obs.IdleArg
+	if t != nil {
+		prio = uint64(t.Prio)
+	}
+	tr.tracer.Emit(obs.KindSchedPick, tr.clock.Now(), prio, arg2)
+}
+
 // New constructs a scheduler of the given kind.
 func New(kind Kind) Scheduler {
 	switch kind {
@@ -188,6 +225,7 @@ func New(kind Kind) Scheduler {
 
 type lazyScheduler struct {
 	rq RunQueues
+	trace
 }
 
 func (s *lazyScheduler) Kind() Kind         { return Lazy }
@@ -218,21 +256,24 @@ func (s *lazyScheduler) DirectSwitch(t, cur *kobj.TCB) (bool, uint64) {
 // every blocked thread encountered. The worst case dequeues every
 // thread in the system.
 func (s *lazyScheduler) ChooseThread() (*kobj.TCB, uint64) {
-	var cycles uint64
+	var cycles, lazyDequeues uint64
 	for prio := kobj.NumPrios - 1; prio >= 0; prio-- {
 		cycles += CostScanPrio
 		for t := s.rq.Q[prio].Head; t != nil; {
 			next := t.SchedNext
 			if t.State.Runnable() {
 				s.rq.dequeue(t)
+				s.pick(t, lazyDequeues)
 				return t, cycles + CostQueueOp
 			}
 			// Lazily dequeue the blocked thread.
 			s.rq.dequeue(t)
 			cycles += CostDequeueBlocked
+			lazyDequeues++
 			t = next
 		}
 	}
+	s.pick(nil, lazyDequeues)
 	return nil, cycles
 }
 
@@ -248,6 +289,7 @@ func (s *lazyScheduler) AtPreemption(cur *kobj.TCB) uint64 {
 type bennoScheduler struct {
 	rq     RunQueues
 	bitmap bool
+	trace
 }
 
 func (s *bennoScheduler) Kind() Kind {
@@ -298,10 +340,12 @@ func (s *bennoScheduler) ChooseThread() (*kobj.TCB, uint64) {
 	if s.bitmap {
 		p := s.rq.highestBitmap()
 		if p < 0 {
+			s.pick(nil, 0)
 			return nil, CostBitmapLookup
 		}
 		t := s.rq.Q[p].Head
 		s.rq.dequeue(t)
+		s.pick(t, uint64(p>>5))
 		return t, CostBitmapLookup + CostQueueOp + CostBitmapUpdate
 	}
 	var cycles uint64
@@ -309,9 +353,11 @@ func (s *bennoScheduler) ChooseThread() (*kobj.TCB, uint64) {
 		cycles += CostScanPrio
 		if t := s.rq.Q[prio].Head; t != nil {
 			s.rq.dequeue(t)
+			s.pick(t, uint64(prio>>5))
 			return t, cycles + CostQueueOp
 		}
 	}
+	s.pick(nil, 0)
 	return nil, cycles
 }
 

@@ -81,8 +81,10 @@ func (a *Analyzer) classify(g *cfg.Graph) ([]uint64, []uint64, ClassStats) {
 
 	rpo := g.RPO()
 	// Fixpoint iteration.
+	var sweeps uint64
 	for changed := true; changed; {
 		changed = false
+		sweeps++
 		for _, id := range rpo {
 			if in[id].i == nil {
 				continue // not yet reached
@@ -99,6 +101,8 @@ func (a *Analyzer) classify(g *cfg.Graph) ([]uint64, []uint64, ClassStats) {
 			}
 		}
 	}
+
+	a.Metrics.Add("classify.fixpoint_sweeps", sweeps)
 
 	// Persistence (first-miss) refinement per loop.
 	pers := analyzePersistence(g, a.Img, a.HW)

@@ -124,18 +124,26 @@ func (a *Analyzer) solveIPET(g *cfg.Graph, res *Result) error {
 
 	res.LPVars = ip.p.NumVars()
 	res.LPConstraints = ip.p.NumConstraints()
+	a.Metrics.Add("ilp.vars", uint64(res.LPVars))
+	a.Metrics.Add("ilp.constraints", uint64(res.LPConstraints))
 	if a.KeepLP {
 		res.LPText = ip.p.WriteLP()
 	}
 
 	solveStart := time.Now()
-	if _, st := ilp.Presolve(ip.p); st == ilp.Infeasible {
+	stopSolve := a.Metrics.Stage("wcet.ilp_solve")
+	fixed, st := ilp.Presolve(ip.p)
+	a.Metrics.Add("ilp.presolve_fixed", uint64(fixed))
+	if st == ilp.Infeasible {
+		stopSolve()
 		return fmt.Errorf("wcet: %s: constraints are contradictory (presolve)", res.Entry)
 	}
 	sol, err := ilp.Solve(ip.p)
+	stopSolve()
 	if err != nil {
 		return fmt.Errorf("wcet: %s: %w", res.Entry, err)
 	}
+	a.Metrics.Add("ilp.pivots", uint64(sol.Pivots))
 	res.SolveTime = time.Since(solveStart)
 	if sol.Status != ilp.Optimal {
 		return fmt.Errorf("wcet: %s: ILP %v", res.Entry, sol.Status)

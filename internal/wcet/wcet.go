@@ -16,6 +16,7 @@ import (
 	"verikern/internal/arch"
 	"verikern/internal/cfg"
 	"verikern/internal/kimage"
+	"verikern/internal/obs"
 )
 
 // ConstraintKind selects one of the three user-constraint forms of
@@ -146,6 +147,11 @@ type Analyzer struct {
 	// KeepLP stores the generated ILP in Result.LPText (the
 	// CPLEX-LP-style dump the paper's toolchain fed its solver).
 	KeepLP bool
+	// Metrics, when set, receives per-stage wall times and pipeline
+	// counters (CFG size, fixpoint sweeps, ILP dimensions, simplex
+	// pivots). It is safe to share across AnalyzeAllParallel's
+	// goroutines; nil disables collection.
+	Metrics *obs.Metrics
 }
 
 // New returns an analyzer for the image under the hardware config.
@@ -161,14 +167,23 @@ func (a *Analyzer) AddConstraints(cs ...UserConstraint) {
 // Analyze computes the WCET bound for one entry point.
 func (a *Analyzer) Analyze(entry string) (*Result, error) {
 	start := time.Now()
+	stopCFG := a.Metrics.Stage("wcet.cfg")
 	g, err := cfg.Inline(a.Img, entry)
 	if err != nil {
+		stopCFG()
 		return nil, err
 	}
 	if err := g.FindLoops(a.Img); err != nil {
+		stopCFG()
 		return nil, err
 	}
+	stopCFG()
+	a.Metrics.Add("cfg.nodes", uint64(len(g.Nodes)))
+	a.Metrics.Add("cfg.loops", uint64(len(g.Loops)))
+
+	stopClassify := a.Metrics.Stage("wcet.classify")
 	costs, loopEntry, stats := a.classify(g)
+	stopClassify()
 	res := &Result{
 		Entry:         entry,
 		Graph:         g,
@@ -176,16 +191,22 @@ func (a *Analyzer) Analyze(entry string) (*Result, error) {
 		Classified:    stats,
 		loopEntryCost: loopEntry,
 	}
-	if err := a.solveIPET(g, res); err != nil {
+	stopIPET := a.Metrics.Stage("wcet.ipet")
+	err = a.solveIPET(g, res)
+	stopIPET()
+	if err != nil {
 		return nil, err
 	}
+	stopRecon := a.Metrics.Stage("wcet.reconstruct")
 	trace, err := reconstruct(g, res.edgeCounts)
+	stopRecon()
 	if err != nil {
 		return nil, fmt.Errorf("wcet: %s: %w", entry, err)
 	}
 	res.Trace = trace
 	res.Micros = arch.CyclesToMicros(res.Cycles)
 	res.AnalysisTime = time.Since(start)
+	a.Metrics.Add("wcet.entries_analyzed", 1)
 	return res, nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"verikern/internal/kimage"
 	"verikern/internal/kobj"
 	"verikern/internal/measure"
+	"verikern/internal/obs"
 	"verikern/internal/sched"
 	"verikern/internal/vspace"
 	"verikern/internal/wcet"
@@ -94,7 +95,21 @@ type Image struct {
 	Constraints []wcet.UserConstraint
 	Variant     Variant
 	Pinned      bool
+	// Metrics, when set, collects analysis-pipeline stage timings and
+	// counters for every Analyze call on this image.
+	Metrics *obs.Metrics
 }
+
+// pipelineMetrics, when set via ObservePipeline, is attached to every
+// image built by BuildImage, so the table/figure drivers in
+// experiments.go report their analysis stages without any API change.
+var pipelineMetrics *obs.Metrics
+
+// ObservePipeline installs a metrics registry that every subsequent
+// BuildImage attaches to its image. Pass nil to disable. The drivers in
+// this package (Table1, Table2, Fig8, ...) build images internally;
+// this is how callers like cmd/paper see their pipeline stages.
+func ObservePipeline(m *obs.Metrics) { pipelineMetrics = m }
 
 // BuildImage constructs the synthetic kernel binary for a variant,
 // optionally with the §4 pin set.
@@ -103,7 +118,7 @@ func BuildImage(v Variant, pinned bool) (*Image, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Image{Img: img, Constraints: cons, Variant: v, Pinned: pinned}, nil
+	return &Image{Img: img, Constraints: cons, Variant: v, Pinned: pinned, Metrics: pipelineMetrics}, nil
 }
 
 // Bound is one entry point's analysis outcome.
@@ -123,6 +138,7 @@ type Bound struct {
 func (im *Image) Analyze(hw Hardware, e EntryPoint) (Bound, error) {
 	a := wcet.New(im.Img, hw)
 	a.AddConstraints(im.Constraints...)
+	a.Metrics = im.Metrics
 	r, err := a.Analyze(string(e))
 	if err != nil {
 		return Bound{}, err
@@ -137,6 +153,7 @@ func (im *Image) AnalyzeWithLP(hw Hardware, e EntryPoint) (Bound, error) {
 	a := wcet.New(im.Img, hw)
 	a.AddConstraints(im.Constraints...)
 	a.KeepLP = true
+	a.Metrics = im.Metrics
 	r, err := a.Analyze(string(e))
 	if err != nil {
 		return Bound{}, err
