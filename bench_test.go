@@ -10,6 +10,7 @@ package verikern
 // Run with: go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -28,7 +29,7 @@ func BenchmarkTable1CachePinning(b *testing.B) {
 	var rows []Table1Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = Table1()
+		rows, err = Table1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -43,7 +44,7 @@ func BenchmarkTable2WCET(b *testing.B) {
 	var rows []Table2Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = Table2(16)
+		rows, err = Table2(context.Background(), 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,7 +63,7 @@ func BenchmarkFig8Overestimation(b *testing.B) {
 	var bars []Fig8Bar
 	var err error
 	for i := 0; i < b.N; i++ {
-		bars, err = Fig8(16)
+		bars, err = Fig8(context.Background(), 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +84,7 @@ func BenchmarkFig9Features(b *testing.B) {
 	var bars []Fig9Bar
 	var err error
 	for i := 0; i < b.N; i++ {
-		bars, err = Fig9(16)
+		bars, err = Fig9(context.Background(), 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func BenchmarkHeadlineLatency(b *testing.B) {
 	var h Headline
 	var err error
 	for i := 0; i < b.N; i++ {
-		h, err = ComputeHeadline(false)
+		h, err = ComputeHeadline(context.Background(), false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -529,7 +530,7 @@ func BenchmarkAblationL2Locking(b *testing.B) {
 	var rows []L2LockAblation
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = AblationL2Lock()
+		rows, err = AblationL2Lock(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -546,7 +547,7 @@ func BenchmarkAblationClearChunk(b *testing.B) {
 	var rows []ChunkAblationRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = AblationClearChunk(nil)
+		rows, err = AblationClearChunk(context.Background(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -564,7 +565,7 @@ func BenchmarkAblationTCM(b *testing.B) {
 	var r TCMAblation
 	var err error
 	for i := 0; i < b.N; i++ {
-		r, err = AblationTCM()
+		r, err = AblationTCM(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,87 @@
+package verikern
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkExperimentMatrixCold runs the full experiment matrix (both
+// variants × pin settings × four hardware configs × four entry points)
+// against an empty artifact cache every iteration — the cost the
+// drivers paid before content-addressed caching.
+func BenchmarkExperimentMatrixCold(b *testing.B) {
+	defer ResetAnalysisCache()
+	for i := 0; i < b.N; i++ {
+		ResetAnalysisCache()
+		if _, err := ExperimentMatrix(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentMatrixWarm runs the same matrix with the cache
+// kept warm: every Result is served content-addressed from memory.
+func BenchmarkExperimentMatrixWarm(b *testing.B) {
+	defer ResetAnalysisCache()
+	ResetAnalysisCache()
+	if _, err := ExperimentMatrix(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExperimentMatrix(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWarmMatrixFasterThanCold is the acceptance check for the
+// artifact cache: re-running the full experiment matrix warm must be
+// measurably faster than the cold run, while producing identical
+// bounds for every cell.
+func TestWarmMatrixFasterThanCold(t *testing.T) {
+	ResetAnalysisCache()
+	defer ResetAnalysisCache()
+
+	ctx := context.Background()
+	coldStart := time.Now()
+	cold, err := ExperimentMatrix(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldTime := time.Since(coldStart)
+
+	warmStart := time.Now()
+	warm, err := ExperimentMatrix(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmTime := time.Since(warmStart)
+
+	if len(cold) != len(warm) || len(cold) == 0 {
+		t.Fatalf("matrix sizes differ: cold %d, warm %d", len(cold), len(warm))
+	}
+	for i := range cold {
+		if cold[i] != warm[i] {
+			t.Errorf("cell %d differs: cold %+v, warm %+v", i, cold[i], warm[i])
+		}
+	}
+
+	stats := AnalysisCacheStats()
+	if stats.Hits < uint64(len(cold)) {
+		t.Errorf("warm run hit the cache %d times, want at least one per cell (%d)",
+			stats.Hits, len(cold))
+	}
+
+	// The warm run does no CFG building, classification, ILP solving
+	// or reconstruction — just key hashing and map lookups. Require a
+	// 2x margin so scheduler noise cannot flake the assertion; in
+	// practice the gap is far larger.
+	if warmTime*2 >= coldTime {
+		t.Errorf("warm matrix (%v) not measurably faster than cold (%v)", warmTime, coldTime)
+	}
+	t.Logf("cold %v, warm %v (%.0fx), cache: %d hits / %d misses / %d entries",
+		coldTime, warmTime, float64(coldTime)/float64(warmTime),
+		stats.Hits, stats.Misses, stats.Entries)
+}

@@ -17,10 +17,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"verikern"
 	"verikern/internal/arch"
@@ -37,6 +39,9 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of kernel events")
 	verbose := flag.Bool("verbose", false, "print per-phase detail")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	variant := verikern.Modern
 	if *variantName == "original" {
@@ -59,6 +64,9 @@ func main() {
 	sys.StartThread(adversary)
 
 	phase := func(name string, fn func() error) {
+		if err := ctx.Err(); err != nil {
+			log.Fatalf("interrupted before %s: %v", name, err)
+		}
 		start := len(sys.Latencies())
 		sys.SetTimer(sys.Now() + *period)
 		if err := fn(); err != nil && *verbose {

@@ -11,11 +11,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"verikern"
 	"verikern/internal/obs"
@@ -33,6 +35,11 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of analysis-pipeline stages")
 	flag.Parse()
 
+	// Interrupting the run (SIGINT/SIGTERM) cancels the analysis
+	// pipeline between passes instead of killing it mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var metrics *obs.Metrics
 	if *tracePath != "" {
 		metrics = obs.NewMetrics()
@@ -41,50 +48,50 @@ func main() {
 	}
 
 	if *asJSON {
-		emitJSON(*runs)
+		emitJSON(ctx, *runs)
 		return
 	}
 	if *ablations {
-		printAblations()
+		printAblations(ctx)
 		return
 	}
 
 	all := *table == 0 && *figure == 0 && !*headline
 
 	if all || *table == 1 {
-		rows, err := verikern.Table1()
+		rows, err := verikern.Table1(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(verikern.FormatTable1(rows))
 	}
 	if all || *table == 2 {
-		rows, err := verikern.Table2(*runs)
+		rows, err := verikern.Table2(ctx, *runs)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(verikern.FormatTable2(rows))
 	}
 	if all || *figure == 8 {
-		bars, err := verikern.Fig8(*runs)
+		bars, err := verikern.Fig8(ctx, *runs)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(verikern.FormatFig8(bars))
 	}
 	if all || *figure == 9 {
-		bars, err := verikern.Fig9(*runs)
+		bars, err := verikern.Fig9(ctx, *runs)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(verikern.FormatFig9(bars))
 	}
 	if all || *headline {
-		off, err := verikern.ComputeHeadline(false)
+		off, err := verikern.ComputeHeadline(ctx, false)
 		if err != nil {
 			log.Fatal(err)
 		}
-		on, err := verikern.ComputeHeadline(true)
+		on, err := verikern.ComputeHeadline(ctx, true)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -101,7 +108,7 @@ func main() {
 		}
 		fmt.Printf("IPC fastpath syscall round: %d kernel cycles (fastpath body 230; paper: 200-250 plus entry/exit)\n\n", fp)
 
-		times, err := verikern.AnalysisTimes()
+		times, err := verikern.AnalysisTimes(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -113,7 +120,8 @@ func main() {
 }
 
 // writePipelineTrace dumps the collected stage timings and counters as
-// a Chrome trace plus a plain-text summary on stdout.
+// a Chrome trace plus a plain-text summary on stdout, followed by the
+// artifact cache's effectiveness counters.
 func writePipelineTrace(m *obs.Metrics, path string) {
 	snap := m.Stats()
 	f, err := os.Create(path)
@@ -127,13 +135,16 @@ func writePipelineTrace(m *obs.Metrics, path string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nAnalysis pipeline stats (trace written to %s):\n%s", path, snap)
+	cs := verikern.AnalysisCacheStats()
+	fmt.Printf("\nArtifact cache: %d hits, %d misses, %d entries in memory\n",
+		cs.Hits, cs.Misses, cs.Entries)
 }
 
 // printAblations renders the design-space experiments beyond the
 // paper's tables: the §8 L2-locking idea, the §5.1 TCM alternative, and
 // the §3.5 clearing-granularity sweep.
-func printAblations() {
-	l2, err := verikern.AblationL2Lock()
+func printAblations(ctx context.Context) {
+	l2, err := verikern.AblationL2Lock(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -143,7 +154,7 @@ func printAblations() {
 		fmt.Printf("%-24s %12d %12d %9.0f%%\n", r.Entry.Label(), r.PlainL2Cycles, r.LockedL2Cycles, r.ReductionPercent)
 	}
 
-	tcm, err := verikern.AblationTCM()
+	tcm, err := verikern.AblationTCM(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -151,7 +162,7 @@ func printAblations() {
 	fmt.Printf("  baseline %d, way-locked %d, TCM %d cycles\n",
 		tcm.BaselineCycles, tcm.PinnedCycles, tcm.TCMCycles)
 
-	chunks, err := verikern.AblationClearChunk(nil)
+	chunks, err := verikern.AblationClearChunk(ctx, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -164,7 +175,7 @@ func printAblations() {
 
 // emitJSON runs every experiment and writes one machine-readable
 // document, for plotting pipelines.
-func emitJSON(runs int) {
+func emitJSON(ctx context.Context, runs int) {
 	type doc struct {
 		Table1   []verikern.Table1Row         `json:"table1"`
 		Table2   []verikern.Table2Row         `json:"table2"`
@@ -175,28 +186,28 @@ func emitJSON(runs int) {
 	}
 	var d doc
 	var err error
-	if d.Table1, err = verikern.Table1(); err != nil {
+	if d.Table1, err = verikern.Table1(ctx); err != nil {
 		log.Fatal(err)
 	}
-	if d.Table2, err = verikern.Table2(runs); err != nil {
+	if d.Table2, err = verikern.Table2(ctx, runs); err != nil {
 		log.Fatal(err)
 	}
-	if d.Fig8, err = verikern.Fig8(runs); err != nil {
+	if d.Fig8, err = verikern.Fig8(ctx, runs); err != nil {
 		log.Fatal(err)
 	}
-	if d.Fig9, err = verikern.Fig9(runs); err != nil {
+	if d.Fig9, err = verikern.Fig9(ctx, runs); err != nil {
 		log.Fatal(err)
 	}
-	off, err := verikern.ComputeHeadline(false)
+	off, err := verikern.ComputeHeadline(ctx, false)
 	if err != nil {
 		log.Fatal(err)
 	}
-	on, err := verikern.ComputeHeadline(true)
+	on, err := verikern.ComputeHeadline(ctx, true)
 	if err != nil {
 		log.Fatal(err)
 	}
 	d.Headline = map[string]verikern.Headline{"l2off": off, "l2on": on}
-	if d.L2Lock, err = verikern.AblationL2Lock(); err != nil {
+	if d.L2Lock, err = verikern.AblationL2Lock(ctx); err != nil {
 		log.Fatal(err)
 	}
 	enc := json.NewEncoder(os.Stdout)

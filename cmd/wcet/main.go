@@ -5,16 +5,18 @@
 //
 // Usage:
 //
-//	wcet [-entry handleSyscall] [-variant modern|original]
+//	wcet [-entry handleSyscall] [-all] [-variant modern|original]
 //	     [-l2] [-bpred] [-pin] [-observe N] [-trace] [-hot N]
-//	     [-lp] [-verify] [-obligations] [-dump]
+//	     [-lp] [-verify] [-obligations] [-dump] [-timings]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"verikern"
 )
@@ -23,6 +25,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("wcet: ")
 	entry := flag.String("entry", string(verikern.Syscall), "entry point to analyse")
+	all := flag.Bool("all", false, "analyse every entry point, in the image's deterministic order")
 	variantName := flag.String("variant", "modern", "kernel variant: modern or original")
 	l2 := flag.Bool("l2", false, "enable the L2 cache")
 	bpred := flag.Bool("bpred", false, "enable the branch predictor")
@@ -34,7 +37,11 @@ func main() {
 	verify := flag.Bool("verify", false, "model-check the image's loop-bound annotations (§5.3)")
 	obligations := flag.Bool("obligations", false, "print the proof obligations for the image's manual constraints (§5.2)")
 	dumpImage := flag.Bool("dump", false, "print a disassembly-style listing of the kernel image")
+	timings := flag.Bool("timings", false, "print solver and analysis wall times (makes output non-reproducible)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	variant := verikern.Modern
 	if *variantName == "original" {
@@ -69,11 +76,26 @@ func main() {
 		}
 	}
 
+	if *all {
+		bounds, err := im.AnalyzeAll(ctx, hw, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("kernel:       %s%s\n", variant, pinSuffix(*pin))
+		fmt.Printf("hardware:     L2=%v branch-predictor=%v pinned-ways=%d\n", *l2, *bpred, hw.PinnedL1Ways)
+		fmt.Printf("%-24s %12s %10s %8s %8s\n", "entry", "cycles", "µs", "blocks", "ilp-vars")
+		for _, b := range bounds {
+			fmt.Printf("%-24s %12d %10.1f %8d %8d\n",
+				b.Entry, b.Cycles, b.Micros, len(b.Result.Trace), b.Result.LPVars)
+		}
+		return
+	}
+
 	var bd verikern.Bound
 	if *dumpLP {
 		bd, err = im.AnalyzeWithLP(hw, verikern.EntryPoint(*entry))
 	} else {
-		bd, err = im.Analyze(hw, verikern.EntryPoint(*entry))
+		bd, err = im.AnalyzeContext(ctx, hw, verikern.EntryPoint(*entry))
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -84,9 +106,13 @@ func main() {
 	fmt.Printf("hardware:     L2=%v branch-predictor=%v pinned-ways=%d\n", *l2, *bpred, hw.PinnedL1Ways)
 	fmt.Printf("bound:        %d cycles = %.1f µs @532 MHz\n", bd.Cycles, bd.Micros)
 	fmt.Printf("cfg:          %d inlined nodes, %d loops\n", len(r.Graph.Nodes), len(r.Graph.Loops))
-	fmt.Printf("ilp:          %d variables, %d constraints, solved in %v\n",
-		r.LPVars, r.LPConstraints, r.SolveTime)
-	fmt.Printf("analysis:     %v total\n", r.AnalysisTime)
+	if *timings {
+		fmt.Printf("ilp:          %d variables, %d constraints, solved in %v\n",
+			r.LPVars, r.LPConstraints, r.SolveTime)
+		fmt.Printf("analysis:     %v total\n", r.AnalysisTime)
+	} else {
+		fmt.Printf("ilp:          %d variables, %d constraints\n", r.LPVars, r.LPConstraints)
+	}
 	c := r.Classified
 	fmt.Printf("cache model:  fetch %d hit / %d miss; data %d hit / %d miss / %d unclassified\n",
 		c.FetchHit, c.FetchMiss, c.DataHit, c.DataMiss, c.DataUnknown)

@@ -1,6 +1,7 @@
 package verikern
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -32,7 +33,7 @@ type Table1Row struct {
 // Table1 reproduces Table 1 (§4): the computed worst-case latency per
 // entry point with and without pinning frequently used cache lines
 // into the L1 caches (modern kernel, L2 disabled).
-func Table1() ([]Table1Row, error) {
+func Table1(ctx context.Context) ([]Table1Row, error) {
 	plain, err := BuildImage(Modern, false)
 	if err != nil {
 		return nil, err
@@ -43,11 +44,11 @@ func Table1() ([]Table1Row, error) {
 	}
 	var rows []Table1Row
 	for _, e := range EntryPoints() {
-		u, err := plain.Analyze(Hardware{}, e)
+		u, err := plain.AnalyzeContext(ctx, Hardware{}, e)
 		if err != nil {
 			return nil, err
 		}
-		p, err := pinned.Analyze(Hardware{PinnedL1Ways: 1}, e)
+		p, err := pinned.AnalyzeContext(ctx, Hardware{PinnedL1Ways: 1}, e)
 		if err != nil {
 			return nil, err
 		}
@@ -97,7 +98,7 @@ type Table2Cell struct {
 // Table2 reproduces Table 2 (§6): WCET for each kernel entry point
 // before and after the paper's changes, computed bounds against
 // best-effort observed worst cases, with the L2 disabled and enabled.
-func Table2(runs int) ([]Table2Row, error) {
+func Table2(ctx context.Context, runs int) ([]Table2Row, error) {
 	if runs <= 0 {
 		runs = DefaultRuns
 	}
@@ -110,7 +111,7 @@ func Table2(runs int) ([]Table2Row, error) {
 		return nil, err
 	}
 	cell := func(hw Hardware, e EntryPoint) (Table2Cell, error) {
-		bd, err := after.Analyze(hw, e)
+		bd, err := after.AnalyzeContext(ctx, hw, e)
 		if err != nil {
 			return Table2Cell{}, err
 		}
@@ -125,7 +126,7 @@ func Table2(runs int) ([]Table2Row, error) {
 	}
 	var rows []Table2Row
 	for _, e := range EntryPoints() {
-		b, err := before.Analyze(Hardware{}, e)
+		b, err := before.AnalyzeContext(ctx, Hardware{}, e)
 		if err != nil {
 			return nil, err
 		}
@@ -172,7 +173,7 @@ type Fig8Bar struct {
 // exact path that is measured (TraceCycles plays the role of the extra
 // ILP constraints), so the remaining gap isolates pipeline/cache-model
 // conservatism from path pessimism.
-func Fig8(runs int) ([]Fig8Bar, error) {
+func Fig8(ctx context.Context, runs int) ([]Fig8Bar, error) {
 	if runs <= 0 {
 		runs = DefaultRuns
 	}
@@ -184,7 +185,7 @@ func Fig8(runs int) ([]Fig8Bar, error) {
 	for _, l2 := range []bool{true, false} {
 		hw := Hardware{L2Enabled: l2}
 		for _, e := range EntryPoints() {
-			bd, err := im.Analyze(hw, e)
+			bd, err := im.AnalyzeContext(ctx, hw, e)
 			if err != nil {
 				return nil, err
 			}
@@ -244,7 +245,7 @@ var Fig9Configs = []struct {
 // Fig9 reproduces Figure 9 (§6.4): the effect of enabling the L2
 // cache and/or the branch predictor on observed worst-case execution
 // times, each path normalised to its baseline time.
-func Fig9(runs int) ([]Fig9Bar, error) {
+func Fig9(ctx context.Context, runs int) ([]Fig9Bar, error) {
 	if runs <= 0 {
 		runs = DefaultRuns
 	}
@@ -256,7 +257,7 @@ func Fig9(runs int) ([]Fig9Bar, error) {
 	for _, e := range EntryPoints() {
 		// The measured path is the baseline configuration's worst
 		// path, as in the paper's methodology.
-		bd, err := im.Analyze(Hardware{}, e)
+		bd, err := im.AnalyzeContext(ctx, Hardware{}, e)
 		if err != nil {
 			return nil, err
 		}
@@ -312,17 +313,17 @@ type Headline struct {
 // ComputeHeadline returns the worst-case interrupt latency under the
 // given L2 setting. The paper reports 189,117 cycles (356 µs) with the
 // L2 disabled and 481 µs with it enabled.
-func ComputeHeadline(l2 bool) (Headline, error) {
+func ComputeHeadline(ctx context.Context, l2 bool) (Headline, error) {
 	im, err := BuildImage(Modern, false)
 	if err != nil {
 		return Headline{}, err
 	}
 	hw := Hardware{L2Enabled: l2}
-	sys, err := im.Analyze(hw, Syscall)
+	sys, err := im.AnalyzeContext(ctx, hw, Syscall)
 	if err != nil {
 		return Headline{}, err
 	}
-	irq, err := im.Analyze(hw, Interrupt)
+	irq, err := im.AnalyzeContext(ctx, hw, Interrupt)
 	if err != nil {
 		return Headline{}, err
 	}
@@ -339,14 +340,14 @@ func ComputeHeadline(l2 bool) (Headline, error) {
 // AnalysisTimes reproduces the §6.3 computation-time breakdown: the
 // wall time each entry point's analysis takes, dominated by the system
 // call handler.
-func AnalysisTimes() (map[EntryPoint]time.Duration, error) {
+func AnalysisTimes(ctx context.Context) (map[EntryPoint]time.Duration, error) {
 	im, err := BuildImage(Modern, false)
 	if err != nil {
 		return nil, err
 	}
 	out := make(map[EntryPoint]time.Duration)
 	for _, e := range EntryPoints() {
-		bd, err := im.Analyze(Hardware{}, e)
+		bd, err := im.AnalyzeContext(ctx, Hardware{}, e)
 		if err != nil {
 			return nil, err
 		}
@@ -370,18 +371,18 @@ type L2LockAblation struct {
 // enabled, with and without the kernel locked into it. The paper
 // predicts a drastic reduction: instruction fetch misses are bounded
 // by the 26-cycle L2 hit instead of the 96-cycle memory access.
-func AblationL2Lock() ([]L2LockAblation, error) {
+func AblationL2Lock(ctx context.Context) ([]L2LockAblation, error) {
 	im, err := BuildImage(Modern, false)
 	if err != nil {
 		return nil, err
 	}
 	var out []L2LockAblation
 	for _, e := range EntryPoints() {
-		plain, err := im.Analyze(Hardware{L2Enabled: true}, e)
+		plain, err := im.AnalyzeContext(ctx, Hardware{L2Enabled: true}, e)
 		if err != nil {
 			return nil, err
 		}
-		locked, err := im.Analyze(Hardware{L2Enabled: true, L2LockedKernel: true}, e)
+		locked, err := im.AnalyzeContext(ctx, Hardware{L2Enabled: true, L2LockedKernel: true}, e)
 		if err != nil {
 			return nil, err
 		}
@@ -414,12 +415,15 @@ type ChunkAblationRow struct {
 // kernel-window copy of page-directory creation costs a full 1 KiB
 // copy anyway: finer clearing chunks cannot lower the worst case until
 // that copy is made preemptible. The sweep shows the latency floor.
-func AblationClearChunk(chunks []uint32) ([]ChunkAblationRow, error) {
+func AblationClearChunk(ctx context.Context, chunks []uint32) ([]ChunkAblationRow, error) {
 	if len(chunks) == 0 {
 		chunks = []uint32{256, 512, 1024, 4096, 16384}
 	}
 	var rows []ChunkAblationRow
 	for _, c := range chunks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cfg := ModernKernel()
 		cfg.ClearChunkBytes = c
 		sys, err := Boot(cfg)
@@ -467,13 +471,13 @@ type TCMAblation struct {
 // mechanisms. TCM wins: its accesses are single-cycle by construction,
 // where pinned lines still pay cache-hit timing — but it requires the
 // code-placement control the paper's pinning approach avoided.
-func AblationTCM() (TCMAblation, error) {
+func AblationTCM(ctx context.Context) (TCMAblation, error) {
 	var out TCMAblation
 	plain, err := BuildImage(Modern, false)
 	if err != nil {
 		return out, err
 	}
-	base, err := plain.Analyze(Hardware{}, Interrupt)
+	base, err := plain.AnalyzeContext(ctx, Hardware{}, Interrupt)
 	if err != nil {
 		return out, err
 	}
@@ -483,7 +487,7 @@ func AblationTCM() (TCMAblation, error) {
 	if err != nil {
 		return out, err
 	}
-	pb, err := pinned.Analyze(Hardware{PinnedL1Ways: 1}, Interrupt)
+	pb, err := pinned.AnalyzeContext(ctx, Hardware{PinnedL1Ways: 1}, Interrupt)
 	if err != nil {
 		return out, err
 	}
@@ -499,7 +503,8 @@ func AblationTCM() (TCMAblation, error) {
 	}
 	a := wcet.New(tcmImg, Hardware{TCMEnabled: true, ITCMBase: itcm, DTCMBase: dtcm})
 	a.AddConstraints(tcmCons...)
-	tb, err := a.Analyze(string(Interrupt))
+	a.Cache = analysisCache
+	tb, err := a.AnalyzeContext(ctx, string(Interrupt))
 	if err != nil {
 		return out, err
 	}
@@ -537,6 +542,57 @@ func FastpathCycles() (uint64, error) {
 		return 0, err
 	}
 	return sys.Now() - before, nil
+}
+
+// MatrixCell is one point of the full experiment matrix: one entry
+// point's bound under one (variant, pin set, hardware) combination.
+type MatrixCell struct {
+	Variant Variant
+	Pinned  bool
+	Config  string
+	Entry   EntryPoint
+	Cycles  uint64
+	Micros  float64
+}
+
+// ExperimentMatrix computes the WCET bound for every combination the
+// evaluation sweeps: both kernel variants, with and without the §4 pin
+// set, under the four Fig. 9 hardware configurations, for all four
+// entry points (64 analyses). Within one cold run the artifact cache
+// already shares work — each (image, entry) CFG is built once and
+// reused across the four hardware configurations — and a warm re-run
+// over the same build inputs is served whole from cached Results.
+func ExperimentMatrix(ctx context.Context) ([]MatrixCell, error) {
+	var cells []MatrixCell
+	for _, v := range []Variant{Original, Modern} {
+		for _, pinned := range []bool{false, true} {
+			im, err := BuildImage(v, pinned)
+			if err != nil {
+				return nil, err
+			}
+			for _, cfg := range Fig9Configs {
+				hw := cfg.HW
+				if pinned {
+					hw.PinnedL1Ways = 1
+				}
+				bounds, err := im.AnalyzeAll(ctx, hw, 0)
+				if err != nil {
+					return nil, err
+				}
+				for _, b := range bounds {
+					cells = append(cells, MatrixCell{
+						Variant: v,
+						Pinned:  pinned,
+						Config:  cfg.Name,
+						Entry:   b.Entry,
+						Cycles:  b.Cycles,
+						Micros:  b.Micros,
+					})
+				}
+			}
+		}
+	}
+	return cells, nil
 }
 
 // machineFor builds a machine configured like hw with the image's pin

@@ -1,0 +1,51 @@
+package kimage
+
+import "testing"
+
+func fpImage(t *testing.T, alu int, bound int, pin bool) *Image {
+	t.Helper()
+	img := New()
+	data := img.Data("buf", 1024)
+	b := img.NewFunc("entry")
+	b.ALU(alu)
+	b.Loop(bound, func(b *FuncBuilder) { b.Load(data) })
+	b.Ret()
+	img.Entries = []string{"entry"}
+	if pin {
+		img.PinLines(img.Funcs["entry"].Entry().Addr)
+	}
+	if err := img.Link(); err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestFingerprintStableAcrossBuilds(t *testing.T) {
+	a := fpImage(t, 4, 8, false)
+	b := fpImage(t, 4, 8, false)
+	if a == b {
+		t.Fatal("test needs distinct image objects")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("identical builds fingerprint differently:\n%s\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Error("fingerprint not idempotent")
+	}
+	if len(a.Fingerprint()) != 64 {
+		t.Errorf("fingerprint %q is not a sha256 hex digest", a.Fingerprint())
+	}
+}
+
+func TestFingerprintSensitiveToContent(t *testing.T) {
+	base := fpImage(t, 4, 8, false).Fingerprint()
+	if got := fpImage(t, 5, 8, false).Fingerprint(); got == base {
+		t.Error("instruction change did not change the fingerprint")
+	}
+	if got := fpImage(t, 4, 9, false).Fingerprint(); got == base {
+		t.Error("loop-bound change did not change the fingerprint")
+	}
+	if got := fpImage(t, 4, 8, true).Fingerprint(); got == base {
+		t.Error("pin-set change did not change the fingerprint")
+	}
+}

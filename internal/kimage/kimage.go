@@ -149,6 +149,7 @@ type Image struct {
 	nextCode uint32
 	nextData uint32
 	symbols  map[string]uint32
+	fp       fingerprintState
 }
 
 // New returns an empty image with code placed from the kernel base and

@@ -35,20 +35,21 @@ func (ip *ipetProblem) inflowCoeffs(n cfg.NodeID, coeffs map[int]float64, scale 
 }
 
 // solveIPET encodes flow conservation, loop bounds and user constraints
-// into an ILP, solves it and fills res.Cycles and res.Counts.
-func (a *Analyzer) solveIPET(g *cfg.Graph, res *Result) error {
+// into an ILP, solves it and returns the Solution artifact (bound,
+// per-node and per-edge counts, problem dimensions).
+func (a *Analyzer) solveIPET(g *cfg.Graph, cls *Classification, entry string) (*Solution, error) {
 	ip := &ipetProblem{p: ilp.NewProblem(), edges: make(map[edgeKey]int), g: g}
 
 	// Loop-entry edges additionally carry the loop's one-off
 	// first-miss cost (persistence refinement).
 	entryExtra := make(map[edgeKey]uint64)
 	for li, l := range g.Loops {
-		if res.loopEntryCost == nil || res.loopEntryCost[li] == 0 {
+		if cls.LoopEntryCost == nil || cls.LoopEntryCost[li] == 0 {
 			continue
 		}
 		for _, p := range g.Node(l.Header).Preds {
 			if !l.Body[p] {
-				entryExtra[edgeKey{p, l.Header}] += res.loopEntryCost[li]
+				entryExtra[edgeKey{p, l.Header}] += cls.LoopEntryCost[li]
 			}
 		}
 	}
@@ -61,10 +62,10 @@ func (a *Analyzer) solveIPET(g *cfg.Graph, res *Result) error {
 		for _, s := range n.Succs {
 			k := edgeKey{n.ID, s}
 			if _, dup := ip.edges[k]; dup {
-				return fmt.Errorf("wcet: parallel edge %v", k)
+				return nil, fmt.Errorf("wcet: parallel edge %v", k)
 			}
 			name := fmt.Sprintf("e%d_%d", n.ID, s)
-			ip.edges[k] = ip.p.AddVar(name, float64(res.NodeCost[s]+entryExtra[k]), true)
+			ip.edges[k] = ip.p.AddVar(name, float64(cls.NodeCost[s]+entryExtra[k]), true)
 		}
 	}
 
@@ -118,16 +119,18 @@ func (a *Analyzer) solveIPET(g *cfg.Graph, res *Result) error {
 	// User constraints (§5.2).
 	for ci, uc := range a.Constraints {
 		if err := ip.addUser(uc, ci); err != nil {
-			return err
+			return nil, err
 		}
 	}
 
-	res.LPVars = ip.p.NumVars()
-	res.LPConstraints = ip.p.NumConstraints()
-	a.Metrics.Add("ilp.vars", uint64(res.LPVars))
-	a.Metrics.Add("ilp.constraints", uint64(res.LPConstraints))
+	out := &Solution{
+		LPVars:        ip.p.NumVars(),
+		LPConstraints: ip.p.NumConstraints(),
+	}
+	a.Metrics.Add("ilp.vars", uint64(out.LPVars))
+	a.Metrics.Add("ilp.constraints", uint64(out.LPConstraints))
 	if a.KeepLP {
-		res.LPText = ip.p.WriteLP()
+		out.LPText = ip.p.WriteLP()
 	}
 
 	solveStart := time.Now()
@@ -136,17 +139,17 @@ func (a *Analyzer) solveIPET(g *cfg.Graph, res *Result) error {
 	a.Metrics.Add("ilp.presolve_fixed", uint64(fixed))
 	if st == ilp.Infeasible {
 		stopSolve()
-		return fmt.Errorf("wcet: %s: constraints are contradictory (presolve)", res.Entry)
+		return nil, fmt.Errorf("wcet: %s: constraints are contradictory (presolve)", entry)
 	}
 	sol, err := ilp.Solve(ip.p)
 	stopSolve()
 	if err != nil {
-		return fmt.Errorf("wcet: %s: %w", res.Entry, err)
+		return nil, fmt.Errorf("wcet: %s: %w", entry, err)
 	}
 	a.Metrics.Add("ilp.pivots", uint64(sol.Pivots))
-	res.SolveTime = time.Since(solveStart)
+	out.SolveTime = time.Since(solveStart)
 	if sol.Status != ilp.Optimal {
-		return fmt.Errorf("wcet: %s: ILP %v", res.Entry, sol.Status)
+		return nil, fmt.Errorf("wcet: %s: ILP %v", entry, sol.Status)
 	}
 
 	// Node counts from edge counts.
@@ -160,16 +163,16 @@ func (a *Analyzer) solveIPET(g *cfg.Graph, res *Result) error {
 			edgeCounts[k] = c
 		}
 	}
-	res.Counts = counts
-	res.edgeCounts = edgeCounts
+	out.Counts = counts
+	out.Edges = sortedEdgeFlows(edgeCounts)
 
 	var total uint64
-	total += res.NodeCost[g.Entry] // virtual entry edge
+	total += cls.NodeCost[g.Entry] // virtual entry edge
 	for k, c := range edgeCounts {
-		total += uint64(c) * (res.NodeCost[k.to] + entryExtra[k])
+		total += uint64(c) * (cls.NodeCost[k.to] + entryExtra[k])
 	}
-	res.Cycles = total
-	return nil
+	out.Cycles = total
+	return out, nil
 }
 
 // addUser encodes one user constraint. Conflicts and Consistent apply

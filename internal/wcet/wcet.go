@@ -9,14 +9,19 @@
 package wcet
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"verikern/internal/arch"
 	"verikern/internal/cfg"
 	"verikern/internal/kimage"
 	"verikern/internal/obs"
+	"verikern/internal/passes"
 )
 
 // ConstraintKind selects one of the three user-constraint forms of
@@ -149,9 +154,21 @@ type Analyzer struct {
 	KeepLP bool
 	// Metrics, when set, receives per-stage wall times and pipeline
 	// counters (CFG size, fixpoint sweeps, ILP dimensions, simplex
-	// pivots). It is safe to share across AnalyzeAllParallel's
+	// pivots), plus artifact-cache hit/miss counters when Cache is
+	// set. It is safe to share across AnalyzeAllParallel's
 	// goroutines; nil disables collection.
 	Metrics *obs.Metrics
+	// Cache, when set, serves and stores per-pass analysis artifacts
+	// content-addressed by (image fingerprint, hardware config,
+	// constraint set, pass version). Analyzers over identical inputs
+	// — even distinct Analyzer or Image objects — share artifacts
+	// through one cache. Cached artifacts (including whole Results)
+	// are shared and must be treated as immutable. Nil disables
+	// caching.
+	Cache *passes.Cache
+	// Workers bounds AnalyzeAllParallel's concurrency; 0 means
+	// GOMAXPROCS.
+	Workers int
 }
 
 // New returns an analyzer for the image under the hardware config.
@@ -166,47 +183,74 @@ func (a *Analyzer) AddConstraints(cs ...UserConstraint) {
 
 // Analyze computes the WCET bound for one entry point.
 func (a *Analyzer) Analyze(entry string) (*Result, error) {
-	start := time.Now()
-	stopCFG := a.Metrics.Stage("wcet.cfg")
-	g, err := cfg.Inline(a.Img, entry)
-	if err != nil {
-		stopCFG()
-		return nil, err
-	}
-	if err := g.FindLoops(a.Img); err != nil {
-		stopCFG()
-		return nil, err
-	}
-	stopCFG()
-	a.Metrics.Add("cfg.nodes", uint64(len(g.Nodes)))
-	a.Metrics.Add("cfg.loops", uint64(len(g.Loops)))
+	return a.AnalyzeContext(context.Background(), entry)
+}
 
-	stopClassify := a.Metrics.Stage("wcet.classify")
-	costs, loopEntry, stats := a.classify(g)
-	stopClassify()
+// AnalyzeContext computes the WCET bound for one entry point, running
+// the pass pipeline (CFG → classify → IPET/solve → reconstruct) under
+// the given context. Cancellation is honoured between passes. With a
+// Cache set, each pass's artifact — and the assembled Result — is
+// served from the cache when its content-addressed inputs match a
+// previous analysis.
+func (a *Analyzer) AnalyzeContext(ctx context.Context, entry string) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	var resultKey string
+	if a.Cache != nil {
+		resultKey = passes.KeyID("result", resultVersion, a.solveFingerprint(entry))
+		if v, ok := a.Cache.Get(resultKey, nil); ok {
+			a.Metrics.Add("passcache.hits", 1)
+			a.Metrics.Add("passcache.hit.result", 1)
+			a.Metrics.Add("wcet.entries_cached", 1)
+			return v.(*Result), nil
+		}
+		a.Metrics.Add("passcache.misses", 1)
+	}
+
+	pl, err := a.pipeline(entry)
+	if err != nil {
+		return nil, err
+	}
+	ac := passes.NewContext(ctx, a.Metrics, a.Cache)
+	if err := pl.Run(ac); err != nil {
+		return nil, err
+	}
+
+	g, _ := passes.Artifact[*cfg.Graph](ac, PassCFG)
+	cls, _ := passes.Artifact[*Classification](ac, PassClassify)
+	sol, _ := passes.Artifact[*Solution](ac, PassSolve)
+	trace, _ := passes.Artifact[[]*kimage.Block](ac, PassReconstruct)
+	if g == nil || cls == nil || sol == nil {
+		return nil, fmt.Errorf("wcet: %s: pipeline produced incomplete artifacts", entry)
+	}
+
 	res := &Result{
 		Entry:         entry,
 		Graph:         g,
-		NodeCost:      costs,
-		Classified:    stats,
-		loopEntryCost: loopEntry,
+		NodeCost:      cls.NodeCost,
+		Classified:    cls.Stats,
+		loopEntryCost: cls.LoopEntryCost,
+		Cycles:        sol.Cycles,
+		Counts:        sol.Counts,
+		LPVars:        sol.LPVars,
+		LPConstraints: sol.LPConstraints,
+		LPText:        sol.LPText,
+		SolveTime:     sol.SolveTime,
+		edgeCounts:    sol.edgeCountMap(),
+		Trace:         trace,
 	}
-	stopIPET := a.Metrics.Stage("wcet.ipet")
-	err = a.solveIPET(g, res)
-	stopIPET()
-	if err != nil {
-		return nil, err
-	}
-	stopRecon := a.Metrics.Stage("wcet.reconstruct")
-	trace, err := reconstruct(g, res.edgeCounts)
-	stopRecon()
-	if err != nil {
-		return nil, fmt.Errorf("wcet: %s: %w", entry, err)
-	}
-	res.Trace = trace
 	res.Micros = arch.CyclesToMicros(res.Cycles)
 	res.AnalysisTime = time.Since(start)
 	a.Metrics.Add("wcet.entries_analyzed", 1)
+	if resultKey != "" {
+		a.Cache.Put(resultKey, res, nil)
+	}
 	return res, nil
 }
 
@@ -248,47 +292,123 @@ func (r *Result) Hottest(n int) []HotBlock {
 	return hot
 }
 
-// AnalyzeAll runs every entry point declared by the image.
+// AnalyzeAll runs every entry point declared by the image. The
+// returned map is keyed by entry name; use AnalyzeAllOrdered when the
+// caller needs results in the image's deterministic entry order.
 func (a *Analyzer) AnalyzeAll() (map[string]*Result, error) {
-	out := make(map[string]*Result, len(a.Img.Entries))
+	ordered, err := a.AnalyzeAllOrdered(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return resultMap(ordered), nil
+}
+
+// AnalyzeAllOrdered analyses every entry point sequentially and
+// returns the results in the image's entry order — the deterministic
+// form consumers should iterate when their output must be byte-stable
+// across runs.
+func (a *Analyzer) AnalyzeAllOrdered(ctx context.Context) ([]*Result, error) {
+	out := make([]*Result, 0, len(a.Img.Entries))
 	for _, e := range a.Img.Entries {
-		r, err := a.Analyze(e)
+		r, err := a.AnalyzeContext(ctx, e)
 		if err != nil {
 			return nil, err
 		}
-		out[e] = r
+		out = append(out, r)
 	}
 	return out, nil
 }
+
+func resultMap(ordered []*Result) map[string]*Result {
+	out := make(map[string]*Result, len(ordered))
+	for _, r := range ordered {
+		out[r.Entry] = r
+	}
+	return out
+}
+
+// analyzeWorkerHook, when set (tests only), observes each entry as a
+// worker picks it up.
+var analyzeWorkerHook func(entry string)
 
 // AnalyzeAllParallel analyses every entry point concurrently. The
 // per-entry analyses share only immutable inputs (the linked image and
 // the constraint list), so they parallelise trivially; the paper's
 // sequential 65-minute run would have shortened to its longest entry.
 func (a *Analyzer) AnalyzeAllParallel() (map[string]*Result, error) {
-	type res struct {
-		entry string
-		r     *Result
-		err   error
+	ordered, err := a.AnalyzeAllParallelOrdered(context.Background())
+	if err != nil {
+		return nil, err
 	}
-	ch := make(chan res, len(a.Img.Entries))
-	for _, e := range a.Img.Entries {
-		go func(entry string) {
-			r, err := a.Analyze(entry)
-			ch <- res{entry: entry, r: r, err: err}
-		}(e)
+	return resultMap(ordered), nil
+}
+
+// AnalyzeAllParallelContext is AnalyzeAllParallel with cancellation.
+func (a *Analyzer) AnalyzeAllParallelContext(ctx context.Context) (map[string]*Result, error) {
+	ordered, err := a.AnalyzeAllParallelOrdered(ctx)
+	if err != nil {
+		return nil, err
 	}
-	out := make(map[string]*Result, len(a.Img.Entries))
-	var firstErr error
-	for range a.Img.Entries {
-		got := <-ch
-		if got.err != nil && firstErr == nil {
-			firstErr = got.err
+	return resultMap(ordered), nil
+}
+
+// AnalyzeAllParallelOrdered fans the image's entry points out over a
+// bounded worker pool (Workers wide, GOMAXPROCS by default) and
+// returns the results in the image's entry order. Cancelling the
+// context stops workers between passes and abandons unstarted entries.
+// When several entries fail, every per-entry error is reported,
+// aggregated with errors.Join in entry order.
+func (a *Analyzer) AnalyzeAllParallelOrdered(ctx context.Context) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	entries := a.Img.Entries
+	workers := a.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(entries) {
+		workers = len(entries)
+	}
+
+	results := make([]*Result, len(entries))
+	errs := make([]error, len(entries))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if analyzeWorkerHook != nil {
+					analyzeWorkerHook(entries[i])
+				}
+				results[i], errs[i] = a.AnalyzeContext(ctx, entries[i])
+			}
+		}()
+	}
+feed:
+	for i := range entries {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
 		}
-		out[got.entry] = got.r
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	close(jobs)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	return out, nil
+	var failed []error
+	for _, err := range errs {
+		if err != nil {
+			failed = append(failed, err)
+		}
+	}
+	if len(failed) > 0 {
+		return nil, errors.Join(failed...)
+	}
+	return results, nil
 }

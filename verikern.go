@@ -17,6 +17,7 @@
 package verikern
 
 import (
+	"context"
 	"fmt"
 
 	"verikern/internal/arch"
@@ -26,6 +27,7 @@ import (
 	"verikern/internal/kobj"
 	"verikern/internal/measure"
 	"verikern/internal/obs"
+	"verikern/internal/passes"
 	"verikern/internal/sched"
 	"verikern/internal/vspace"
 	"verikern/internal/wcet"
@@ -105,6 +107,39 @@ type Image struct {
 // experiments.go report their analysis stages without any API change.
 var pipelineMetrics *obs.Metrics
 
+// analysisCache is the process-wide artifact cache behind every
+// Analyze call made through this package. Keys are content-addressed
+// (image fingerprint, hardware config, constraint set, pass version),
+// so separately built but identical images — the common shape of the
+// experiment drivers, which rebuild images per table — share CFGs,
+// classifications, ILP solutions and whole Results.
+var analysisCache = passes.NewCache(nil)
+
+// AnalysisCacheStats returns a snapshot of the shared artifact cache's
+// hit/miss counters.
+func AnalysisCacheStats() passes.CacheStats { return analysisCache.Stats() }
+
+// ResetAnalysisCache drops every in-memory artifact and zeroes the
+// counters; an attached disk store keeps its artifacts (content-
+// addressed keys never go stale — invalidation is by key change).
+func ResetAnalysisCache() { analysisCache.Reset() }
+
+// SetAnalysisCacheDir attaches an on-disk artifact store at dir, so
+// serialisable artifacts (classifications, ILP solutions) survive
+// across processes. An empty dir detaches the store.
+func SetAnalysisCacheDir(dir string) error {
+	if dir == "" {
+		analysisCache.SetDisk(nil)
+		return nil
+	}
+	s, err := passes.NewDiskStore(dir)
+	if err != nil {
+		return err
+	}
+	analysisCache.SetDisk(s)
+	return nil
+}
+
 // ObservePipeline installs a metrics registry that every subsequent
 // BuildImage attaches to its image. Pass nil to disable. The drivers in
 // this package (Table1, Table2, Fig8, ...) build images internally;
@@ -133,27 +168,55 @@ type Bound struct {
 	Result *wcet.Result
 }
 
-// Analyze computes the WCET bound of one entry point under the given
-// hardware configuration.
-func (im *Image) Analyze(hw Hardware, e EntryPoint) (Bound, error) {
+// analyzer assembles the wcet.Analyzer every facade entry point uses:
+// the image's constraints and metrics, plus the shared artifact cache.
+func (im *Image) analyzer(hw Hardware) *wcet.Analyzer {
 	a := wcet.New(im.Img, hw)
 	a.AddConstraints(im.Constraints...)
 	a.Metrics = im.Metrics
-	r, err := a.Analyze(string(e))
+	a.Cache = analysisCache
+	return a
+}
+
+// Analyze computes the WCET bound of one entry point under the given
+// hardware configuration.
+func (im *Image) Analyze(hw Hardware, e EntryPoint) (Bound, error) {
+	return im.AnalyzeContext(context.Background(), hw, e)
+}
+
+// AnalyzeContext is Analyze under a context: cancellation is honoured
+// between analysis passes.
+func (im *Image) AnalyzeContext(ctx context.Context, hw Hardware, e EntryPoint) (Bound, error) {
+	r, err := im.analyzer(hw).AnalyzeContext(ctx, string(e))
 	if err != nil {
 		return Bound{}, err
 	}
 	return Bound{Entry: e, Cycles: r.Cycles, Micros: r.Micros, Result: r}, nil
 }
 
+// AnalyzeAll analyses every entry point of the image over a bounded
+// worker pool and returns the bounds in the image's deterministic
+// entry order. workers <= 0 means GOMAXPROCS.
+func (im *Image) AnalyzeAll(ctx context.Context, hw Hardware, workers int) ([]Bound, error) {
+	a := im.analyzer(hw)
+	a.Workers = workers
+	results, err := a.AnalyzeAllParallelOrdered(ctx)
+	if err != nil {
+		return nil, err
+	}
+	bounds := make([]Bound, len(results))
+	for i, r := range results {
+		bounds[i] = Bound{Entry: EntryPoint(r.Entry), Cycles: r.Cycles, Micros: r.Micros, Result: r}
+	}
+	return bounds, nil
+}
+
 // AnalyzeWithLP is Analyze but additionally captures the generated
 // integer linear program in Result.LPText — the artefact the paper's
 // toolchain handed to its off-the-shelf solver (§5.2).
 func (im *Image) AnalyzeWithLP(hw Hardware, e EntryPoint) (Bound, error) {
-	a := wcet.New(im.Img, hw)
-	a.AddConstraints(im.Constraints...)
+	a := im.analyzer(hw)
 	a.KeepLP = true
-	a.Metrics = im.Metrics
 	r, err := a.Analyze(string(e))
 	if err != nil {
 		return Bound{}, err

@@ -1,12 +1,13 @@
 package verikern
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestTable1ShapeMatchesPaper(t *testing.T) {
-	rows, err := Table1()
+	rows, err := Table1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestTable1ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestTable2ShapeMatchesPaper(t *testing.T) {
-	rows, err := Table2(24)
+	rows, err := Table2(context.Background(), 24)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestTable2ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestFig8ShapeMatchesPaper(t *testing.T) {
-	bars, err := Fig8(24)
+	bars, err := Fig8(context.Background(), 24)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestFig8ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestFig9ShapeMatchesPaper(t *testing.T) {
-	bars, err := Fig9(24)
+	bars, err := Fig9(context.Background(), 24)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,11 +168,11 @@ func TestFig9ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestHeadlineMatchesPaperMagnitude(t *testing.T) {
-	off, err := ComputeHeadline(false)
+	off, err := ComputeHeadline(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	on, err := ComputeHeadline(true)
+	on, err := ComputeHeadline(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestFastpathCyclesMagnitude(t *testing.T) {
 }
 
 func TestAnalysisTimesSyscallDominates(t *testing.T) {
-	times, err := AnalysisTimes()
+	times, err := AnalysisTimes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestBootVariants(t *testing.T) {
 }
 
 func TestAblationL2LockReducesBounds(t *testing.T) {
-	rows, err := AblationL2Lock()
+	rows, err := AblationL2Lock(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestL2LockSoundness(t *testing.T) {
 // kernel exhibits under the full adversarial workload suite stays
 // within the statically analysed worst-case interrupt latency.
 func TestFunctionalLatencyWithinAnalysedBound(t *testing.T) {
-	headline, err := ComputeHeadline(false)
+	headline, err := ComputeHeadline(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +339,7 @@ func TestFunctionalLatencyWithinAnalysedBound(t *testing.T) {
 // latency while the non-preemptible 1 KiB kernel-window copy remains,
 // while much larger chunks visibly hurt it.
 func TestAblationClearChunkFloor(t *testing.T) {
-	rows, err := AblationClearChunk([]uint32{256, 1024, 16384})
+	rows, err := AblationClearChunk(context.Background(), []uint32{256, 1024, 16384})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +369,7 @@ func TestAblationClearChunkFloor(t *testing.T) {
 // TestAblationTCMOrdering: TCM < pinned < baseline on the interrupt
 // path (§5.1's mechanisms compared).
 func TestAblationTCMOrdering(t *testing.T) {
-	r, err := AblationTCM()
+	r, err := AblationTCM(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
