@@ -10,10 +10,22 @@
 // address-space teardown) while a periodic timer interrupt stands in
 // for a hard real-time task's release.
 //
+// With -soak, kzm-sim instead becomes the latency observatory: a
+// seeded randomized workload (mixed IPC, endpoint churn, badged
+// aborts, retyping, address-space teardown) soaks the kernel with
+// timer interrupts at randomized phases, attributing every response
+// sample to the operation in progress and checking each against the
+// computed WCET bound live. -serve exposes the results over HTTP
+// (/metrics in Prometheus text format, /snapshot.json as stable JSON);
+// -bench-out writes the full before/after configuration matrix as a
+// BENCH_soak.json artifact.
+//
 // Usage:
 //
 //	kzm-sim [-variant modern|original] [-waiters N] [-period CYCLES]
 //	        [-trace out.json] [-verbose]
+//	kzm-sim -soak <ops|duration> [-seed N] [-pinned] [-soak-workers N]
+//	        [-serve :9090] [-bench-out BENCH_soak.json]
 package main
 
 import (
@@ -21,13 +33,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"time"
 
 	"verikern"
 	"verikern/internal/arch"
+	"verikern/internal/kernel"
 	"verikern/internal/measure"
 	"verikern/internal/obs"
+	"verikern/internal/soak"
 )
 
 func main() {
@@ -38,10 +55,21 @@ func main() {
 	period := flag.Uint64("period", 40_000, "timer interrupt period in cycles")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of kernel events")
 	verbose := flag.Bool("verbose", false, "print per-phase detail")
+	soakSpec := flag.String("soak", "", "run the latency observatory for an op count (e.g. 10000) or wall duration (e.g. 2s)")
+	seed := flag.Uint64("seed", 42, "soak workload seed")
+	pinned := flag.Bool("pinned", false, "check soak samples against the L1 way-pinned WCET bound")
+	soakWorkers := flag.Int("soak-workers", 2, "parallel kernel instances per soak")
+	serveAddr := flag.String("serve", "", "serve /metrics and /snapshot.json on this address after the soak")
+	benchOut := flag.String("bench-out", "", "write the soak matrix as a BENCH_soak.json artifact to this file")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *soakSpec != "" || *benchOut != "" {
+		runSoak(ctx, *soakSpec, *variantName, *seed, *pinned, *soakWorkers, *serveAddr, *benchOut)
+		return
+	}
 
 	variant := verikern.Modern
 	if *variantName == "original" {
@@ -172,5 +200,119 @@ func main() {
 		fmt.Printf("\ntrace:         %d events (%d dropped) written to %s\n",
 			tracer.Emitted()-tracer.Dropped(), tracer.Dropped(), *tracePath)
 		fmt.Print(tracer.Summary())
+	}
+}
+
+// runSoak is the latency-observatory mode. spec is an op count or a
+// wall duration; empty means "default ops" (used when only -bench-out
+// is given).
+func runSoak(ctx context.Context, spec, variantName string, seed uint64, pinned bool, workers int, serveAddr, benchOut string) {
+	ops, wall, err := parseSoakSpec(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kcfg := kernel.Modern()
+	label := "benno+preempt"
+	if variantName == "original" {
+		kcfg = kernel.Original()
+		label = "lazy"
+	}
+	kcfg.CheckInvariants = false
+	if pinned {
+		label += "+pinned"
+	}
+	cfg := soak.Config{
+		Label:   label,
+		Seed:    seed,
+		Ops:     ops,
+		Workers: workers,
+		Kernel:  kcfg,
+		Pinned:  pinned,
+	}
+
+	var rep *soak.Report
+	if wall > 0 {
+		rep, err = soak.RunFor(ctx, cfg, wall)
+	} else {
+		rep, err = soak.Run(ctx, cfg)
+	}
+	if err != nil && err != context.Canceled {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.String())
+	for i, c := range rep.Captures {
+		fmt.Printf("flight capture %d (%s, worker %d): latency %d cycles during %s, %d trailing events\n",
+			i, c.Reason, c.Worker, c.Sample.Latency, c.Sample.Source, len(c.Events))
+	}
+
+	if benchOut != "" {
+		reps, err := verikern.SoakReport(ctx, seed, ops)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(benchOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := verikern.WriteSoakBench(f, seed, ops, reps); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d-config soak matrix to %s\n", len(reps), benchOut)
+	}
+
+	if serveAddr != "" {
+		serveSnapshot(ctx, serveAddr, rep)
+	}
+}
+
+// parseSoakSpec interprets -soak's argument: a bare integer is an op
+// budget, a time.Duration string a wall budget, empty the default op
+// budget.
+func parseSoakSpec(spec string) (ops uint64, wall time.Duration, err error) {
+	const defaultOps = 10_000
+	if spec == "" {
+		return defaultOps, 0, nil
+	}
+	if n, nerr := strconv.ParseUint(spec, 10, 64); nerr == nil {
+		return n, 0, nil
+	}
+	d, derr := time.ParseDuration(spec)
+	if derr != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("-soak %q: want an op count or a positive duration", spec)
+	}
+	return defaultOps, d, nil
+}
+
+// serveSnapshot exposes the soak's merged snapshot over HTTP until the
+// process is interrupted.
+func serveSnapshot(ctx context.Context, addr string, rep *soak.Report) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := rep.Snapshot.WritePrometheus(w); err != nil {
+			log.Printf("serving /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := rep.Snapshot.WriteJSON(w); err != nil {
+			log.Printf("serving /snapshot.json: %v", err)
+		}
+	})
+	srv := &http.Server{Addr: addr, Handler: mux}
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	fmt.Printf("serving /metrics and /snapshot.json on %s (interrupt to stop)\n", addr)
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
 	}
 }

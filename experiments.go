@@ -2,14 +2,19 @@ package verikern
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
 	"verikern/internal/arch"
 	"verikern/internal/kbin"
+	"verikern/internal/kernel"
 	"verikern/internal/machine"
 	"verikern/internal/measure"
+	"verikern/internal/obs"
+	"verikern/internal/soak"
 	"verikern/internal/wcet"
 )
 
@@ -601,4 +606,92 @@ func machineFor(im *Image, hw Hardware) *machine.Machine {
 	m := machine.New(hw)
 	m.LoadImage(im.Img)
 	return m
+}
+
+// --- Soak matrix (latency observatory) ---
+
+// SoakConfig names one configuration of the soak matrix.
+type SoakConfig struct {
+	Name string
+	// Kernel is the functional configuration under soak.
+	Kernel KernelConfig
+	// Pinned selects the way-pinned image when computing the WCET
+	// bound the sentinel enforces.
+	Pinned bool
+}
+
+// SoakConfigs is the latency-observatory sweep: the modernised kernel
+// with and without L1 pinning, the modernised structures with
+// preemption points disabled, and the pre-modification kernel — the
+// same before/after axis the paper's evaluation walks.
+func SoakConfigs() []SoakConfig {
+	modern := kernel.Modern()
+	modern.CheckInvariants = false // O(objects) per preemption point
+	noPre := modern
+	noPre.PreemptionPoints = false
+	lazy := kernel.Original()
+	lazy.CheckInvariants = false
+	return []SoakConfig{
+		{Name: "benno+preempt+pinned", Kernel: modern, Pinned: true},
+		{Name: "benno+preempt", Kernel: modern},
+		{Name: "benno+nopreempt", Kernel: noPre},
+		{Name: "lazy", Kernel: lazy},
+	}
+}
+
+// SoakReport soaks every matrix configuration for `ops` operations at
+// the given seed and returns one report per configuration, in matrix
+// order. Each configuration's WCET bound is computed once through the
+// analysis pipeline; every interrupt-response sample is checked
+// against it live.
+func SoakReport(ctx context.Context, seed, ops uint64) ([]*soak.Report, error) {
+	var reps []*soak.Report
+	for _, sc := range SoakConfigs() {
+		rep, err := soak.Run(ctx, soak.Config{
+			Label:   sc.Name,
+			Seed:    seed,
+			Ops:     ops,
+			Workers: 2,
+			Kernel:  sc.Kernel,
+			Pinned:  sc.Pinned,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("soak %s: %w", sc.Name, err)
+		}
+		reps = append(reps, rep)
+	}
+	return reps, nil
+}
+
+// FormatSoakReport renders the matrix reports as the text block
+// cmd/kzm-sim prints.
+func FormatSoakReport(reps []*soak.Report) string {
+	var b strings.Builder
+	for i, r := range reps {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(r.String())
+	}
+	return b.String()
+}
+
+// SoakBench is the BENCH_soak.json document: one merged observability
+// snapshot per soaked configuration, byte-stable for a fixed seed.
+type SoakBench struct {
+	Seed    uint64          `json:"seed"`
+	Ops     uint64          `json:"ops"`
+	Configs []*obs.Snapshot `json:"configs"`
+}
+
+// WriteSoakBench serialises the matrix reports as the BENCH_soak.json
+// artifact.
+func WriteSoakBench(w io.Writer, seed, ops uint64, reps []*soak.Report) error {
+	doc := SoakBench{Seed: seed, Ops: ops}
+	for _, r := range reps {
+		doc.Configs = append(doc.Configs, r.Snapshot)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"verikern/internal/kobj"
+	"verikern/internal/obs"
 )
 
 // This file implements the CNode-invocation system calls: copying,
@@ -28,7 +29,7 @@ func (k *Kernel) CopyCap(t *kobj.TCB, srcAddr uint32, rights kobj.Rights) (uint3
 		return 0, fmt.Errorf("kernel: copy from empty slot")
 	}
 	var addr uint32
-	err = k.runRestartable(t, levels, func() opOutcome {
+	err = k.runRestartable(t, levels, obs.OpCapOp, func() opOutcome {
 		k.clock.Advance(CostCapOp)
 		c := slot.Cap
 		c.Rights &= rights
@@ -54,7 +55,7 @@ func (k *Kernel) MoveCap(t *kobj.TCB, srcAddr uint32) (uint32, error) {
 		return 0, fmt.Errorf("kernel: move from empty slot")
 	}
 	var addr uint32
-	err = k.runRestartable(t, levels, func() opOutcome {
+	err = k.runRestartable(t, levels, obs.OpCapOp, func() opOutcome {
 		k.clock.Advance(CostCapOp)
 		// Splice the new slot into the MDB where the old one was.
 		var dest *kobj.Slot
@@ -98,7 +99,7 @@ func (k *Kernel) Revoke(t *kobj.TCB, capAddr uint32) error {
 	if slot.IsEmpty() {
 		return fmt.Errorf("kernel: revoke of empty slot")
 	}
-	return k.runRestartable(t, levels, func() opOutcome {
+	return k.runRestartable(t, levels, obs.OpRevoke, func() opOutcome {
 		for {
 			k.clock.Advance(CostCapOp)
 			remaining := k.objects.RevokeStep(slot)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"verikern/internal/kobj"
+	"verikern/internal/obs"
 )
 
 // opOutcome is the result of a syscall body.
@@ -21,8 +22,14 @@ const (
 // saves nothing on the stack — it re-establishes run-queue consistency,
 // services the interrupt, returns to user, and the thread re-executes
 // the same call, which resumes from the object state.
-func (k *Kernel) runRestartable(t *kobj.TCB, decodeLevels int, body func() opOutcome) error {
+//
+// op tags the tracer with the operation in progress for the duration
+// of the call (including restarts), which is what attributes each
+// interrupt-response sample to the operation that delayed it.
+func (k *Kernel) runRestartable(t *kobj.TCB, decodeLevels int, op obs.Op, body func() opOutcome) error {
 	k.stats.Syscalls++
+	k.tracer.SetOp(op)
+	defer k.tracer.SetOp(obs.OpUser)
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			k.stats.Restarts++
@@ -142,6 +149,8 @@ func (k *Kernel) StartThread(t *kobj.TCB) {
 // of its queue and the highest-priority runnable thread runs. This is
 // also where a pending timer interrupt preempts a running thread.
 func (k *Kernel) Yield() {
+	k.tracer.SetOp(obs.OpYield)
+	defer k.tracer.SetOp(obs.OpUser)
 	k.clock.Advance(CostKernelEntry)
 	if k.current != nil {
 		k.current.State = kobj.ThreadRunnable
@@ -161,6 +170,8 @@ func (k *Kernel) Yield() {
 // Idle advances the clock with the CPU in userspace/idle, where
 // interrupts are taken immediately.
 func (k *Kernel) Idle(cycles uint64) {
+	k.tracer.SetOp(obs.OpIdle)
+	defer k.tracer.SetOp(obs.OpUser)
 	k.clock.Advance(cycles)
 	if k.pollIRQ() {
 		// Interrupt taken from user mode: entry + IRQ path.

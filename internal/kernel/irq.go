@@ -5,6 +5,7 @@ import (
 
 	"verikern/internal/ipc"
 	"verikern/internal/kobj"
+	"verikern/internal/obs"
 )
 
 // This file implements interrupt delivery to user-level handler
@@ -72,7 +73,7 @@ func (k *Kernel) WaitIRQ(t *kobj.TCB, ntfnCapAddr uint32) error {
 		return fmt.Errorf("kernel: wait on %v cap", slot.Cap.Type)
 	}
 	ntfn := slot.Cap.Notification()
-	return k.runRestartable(t, levels, func() opOutcome {
+	return k.runRestartable(t, levels, obs.OpWaitIRQ, func() opOutcome {
 		switch ipc.Wait(k.ipcEnv(), t, ntfn) {
 		case ipc.Done:
 			k.irqHandlerRuns++
@@ -98,7 +99,7 @@ func (k *Kernel) SignalCap(t *kobj.TCB, ntfnCapAddr uint32) error {
 	if badge == 0 {
 		badge = 1
 	}
-	return k.runRestartable(t, levels, func() opOutcome {
+	return k.runRestartable(t, levels, obs.OpSignal, func() opOutcome {
 		if sw := ipc.Signal(k.ipcEnv(), ntfn, badge, t); sw != nil {
 			k.switchTo(sw)
 		}
@@ -118,7 +119,7 @@ func (k *Kernel) PollCap(t *kobj.TCB, ntfnCapAddr uint32) (bool, error) {
 	}
 	ntfn := slot.Cap.Notification()
 	var got bool
-	err = k.runRestartable(t, levels, func() opOutcome {
+	err = k.runRestartable(t, levels, obs.OpPoll, func() opOutcome {
 		got = ipc.Poll(k.ipcEnv(), t, ntfn)
 		return opDone
 	})
@@ -132,6 +133,8 @@ func (k *Kernel) PollCap(t *kobj.TCB, ntfnCapAddr uint32) (bool, error) {
 // queue invariant exactly as at any preemption, §3.1), and the
 // scheduler picks the next thread — round-robin within a priority.
 func (k *Kernel) Tick() {
+	k.tracer.SetOp(obs.OpTick)
+	defer k.tracer.SetOp(obs.OpUser)
 	k.clock.Advance(CostKernelEntry)
 	k.clock.Advance(CostIRQPath / 2) // timer acknowledge
 	if k.current != nil && k.current.State.Runnable() {

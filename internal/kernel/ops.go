@@ -80,7 +80,7 @@ func (k *Kernel) Send(t *kobj.TCB, capAddr uint32, msgLen int, capsToSend []uint
 		capLevels += res.Levels
 	}
 
-	return k.runRestartable(t, levels, func() opOutcome {
+	return k.runRestartable(t, levels, obs.OpSend, func() opOutcome {
 		if k.cfg.Fastpath && len(capsToSend) == 0 && !call && ipc.FastpathOK(ep, t, msgLen, 0) {
 			r := ipc.Fastpath(k.ipcEnv(), t, ep, badge, msgLen)
 			k.stats.FastpathIPCs++
@@ -123,7 +123,7 @@ func (k *Kernel) Recv(t *kobj.TCB, capAddr uint32) error {
 		return fmt.Errorf("kernel: recv on %v cap", slot.Cap.Type)
 	}
 	ep := slot.Cap.Endpoint()
-	return k.runRestartable(t, levels, func() opOutcome {
+	return k.runRestartable(t, levels, obs.OpRecv, func() opOutcome {
 		out, sw := ipc.Recv(k.ipcEnv(), t, ep)
 		switch out {
 		case ipc.Failed:
@@ -153,7 +153,7 @@ func (k *Kernel) ReplyRecv(t *kobj.TCB, capAddr uint32) error {
 		return fmt.Errorf("kernel: replyrecv on %v cap", slot.Cap.Type)
 	}
 	ep := slot.Cap.Endpoint()
-	return k.runRestartable(t, levels, func() opOutcome {
+	return k.runRestartable(t, levels, obs.OpReplyRecv, func() opOutcome {
 		if !t.ReplyPhaseDone {
 			if out, _ := ipc.Reply(k.ipcEnv(), t); out == ipc.Failed {
 				return opFailed
@@ -191,7 +191,7 @@ func (k *Kernel) DeleteCap(t *kobj.TCB, capAddr uint32) error {
 	if err != nil {
 		return err
 	}
-	return k.runRestartable(t, levels, func() opOutcome {
+	return k.runRestartable(t, levels, obs.OpDelete, func() opOutcome {
 		if slot.IsEmpty() {
 			return opDone // deleted by an earlier (preempted) pass
 		}
@@ -225,7 +225,7 @@ func (k *Kernel) RevokeBadge(t *kobj.TCB, capAddr uint32, badge uint32) error {
 		return fmt.Errorf("kernel: badge revoke on %v cap", slot.Cap.Type)
 	}
 	ep := slot.Cap.Endpoint()
-	return k.runRestartable(t, levels, func() opOutcome {
+	return k.runRestartable(t, levels, obs.OpBadgeRevoke, func() opOutcome {
 		// Phase 1: prevent new IPC with the badge by deleting
 		// derived badged caps, one per preemption interval.
 		for {
@@ -277,7 +277,7 @@ func (k *Kernel) CreateObjects(t *kobj.TCB, ot kobj.ObjType, param uint8, count 
 	u := k.rootUntyped
 
 	var addrs []uint32
-	err = k.runRestartable(t, 1, func() opOutcome {
+	err = k.runRestartable(t, 1, obs.OpRetype, func() opOutcome {
 		prog := k.pendingClear[u]
 		if prog == nil {
 			prog = &clearProgress{remaining: total}
@@ -390,7 +390,7 @@ func (k *Kernel) MapPageTable(t *kobj.TCB, ptAddr uint32, vaddr uint32) error {
 	}
 	pt := slot.Cap.Obj.(*kobj.PageTable)
 	var mapErr error
-	err = k.runRestartable(t, levels, func() opOutcome {
+	err = k.runRestartable(t, levels, obs.OpMapTable, func() opOutcome {
 		mapErr = k.vspace.MapTable(k.vsEnv(), t.VSpaceRoot, int(vaddr>>20), pt, slot)
 		if mapErr != nil {
 			return opFailed
@@ -415,7 +415,7 @@ func (k *Kernel) MapFrame(t *kobj.TCB, frameAddr uint32, vaddr uint32) error {
 	}
 	f := slot.Cap.Frame()
 	var mapErr error
-	err = k.runRestartable(t, levels, func() opOutcome {
+	err = k.runRestartable(t, levels, obs.OpMapFrame, func() opOutcome {
 		mapErr = k.vspace.MapFrame(k.vsEnv(), t.VSpaceRoot, vaddr, f, slot)
 		if mapErr != nil {
 			return opFailed
@@ -435,7 +435,7 @@ func (k *Kernel) UnmapFrame(t *kobj.TCB, frameAddr uint32) error {
 		return err
 	}
 	var unmapErr error
-	err = k.runRestartable(t, levels, func() opOutcome {
+	err = k.runRestartable(t, levels, obs.OpUnmapFrame, func() opOutcome {
 		unmapErr = k.vspace.UnmapFrame(k.vsEnv(), slot)
 		if unmapErr != nil {
 			return opFailed
@@ -459,7 +459,7 @@ func (k *Kernel) DeleteVSpace(t *kobj.TCB, pdAddr uint32) error {
 		return fmt.Errorf("kernel: vspace delete of %v cap", slot.Cap.Type)
 	}
 	pd := slot.Cap.Obj.(*kobj.PageDirectory)
-	return k.runRestartable(t, levels, func() opOutcome {
+	return k.runRestartable(t, levels, obs.OpVSpaceDelete, func() opOutcome {
 		switch k.vspace.DeletePD(k.vsEnv(), pd) {
 		case vspace.Preempted:
 			return opPreempted

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"verikern/internal/kobj"
+	"verikern/internal/obs"
 )
 
 // Thread-management system calls: priority changes, suspension and
@@ -20,7 +21,7 @@ const CostThreadOp = 220
 // is dequeued and re-enqueued at the new priority; the scheduler
 // bitmap follows automatically.
 func (k *Kernel) SetPriority(t *kobj.TCB, target *kobj.TCB, prio uint8) error {
-	return k.runRestartable(t, 1, func() opOutcome {
+	return k.runRestartable(t, 1, obs.OpThreadCtl, func() opOutcome {
 		k.clock.Advance(CostThreadOp)
 		if target.InRunQueue {
 			// OnBlock/Enqueue perform the queue moves; the
@@ -45,7 +46,7 @@ func (k *Kernel) SetPriority(t *kobj.TCB, target *kobj.TCB, prio uint8) error {
 // Suspend makes a thread inactive: it leaves the run queue and aborts
 // any IPC it is blocked on (dequeuing it from the endpoint).
 func (k *Kernel) Suspend(t *kobj.TCB, target *kobj.TCB) error {
-	return k.runRestartable(t, 1, func() opOutcome {
+	return k.runRestartable(t, 1, obs.OpThreadCtl, func() opOutcome {
 		k.clock.Advance(CostThreadOp)
 		if target.InRunQueue {
 			k.clock.Advance(k.sched.OnBlock(target))
@@ -83,7 +84,7 @@ func (k *Kernel) Resume(t *kobj.TCB, target *kobj.TCB) error {
 	if target.State != kobj.ThreadInactive {
 		return fmt.Errorf("kernel: resume of %v thread", target.State)
 	}
-	return k.runRestartable(t, 1, func() opOutcome {
+	return k.runRestartable(t, 1, obs.OpThreadCtl, func() opOutcome {
 		k.clock.Advance(CostThreadOp)
 		target.State = kobj.ThreadRunnable
 		target.RestartPC = true

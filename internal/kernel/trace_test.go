@@ -118,6 +118,95 @@ func TestTracerKernelEvents(t *testing.T) {
 	}
 }
 
+// TestTracerOpAttribution checks the per-source dimension the latency
+// observatory builds on: every event carries the operation tag of the
+// system call that emitted it, and interrupt-response samples are
+// attributed to the operation in progress when the timer latched.
+func TestTracerOpAttribution(t *testing.T) {
+	k, err := New(Modern())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer(1 << 14)
+	k.SetTracer(tr)
+
+	// A compact workload with a short timer fuse armed immediately
+	// before each long operation, so the line latches at one of the
+	// operation's own preemption probes.
+	adv, err := k.CreateThread("adv", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.StartThread(adv)
+	eps, err := k.CreateObjects(adv, kobj.TypeEndpoint, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badged, err := k.MintBadgedCap(adv, eps[0], 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queueWaiters := func(capAddr uint32, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			w, err := k.CreateThread("w", 50)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k.StartThread(w)
+			if err := k.Send(w, capAddr, 1, nil, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	queueWaiters(badged, 8)
+	k.SetTimer(k.Now() + 300)
+	if err := k.RevokeBadge(adv, eps[0], 9); err != nil {
+		t.Fatal(err)
+	}
+	queueWaiters(eps[0], 8)
+	k.SetTimer(k.Now() + 300)
+	if err := k.DeleteCap(adv, eps[0]); err != nil {
+		t.Fatal(err)
+	}
+	k.SetTimer(k.Now() + 300)
+	if _, err := k.CreateObjects(adv, kobj.TypeFrame, 14, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kind→op pairing is structural: the abort walk only runs inside
+	// badge revocation, the waiter-restart walk inside deletion, the
+	// chunked clear inside retype.
+	wantOp := map[obs.Kind]obs.Op{
+		obs.KindIPCAbort:    obs.OpBadgeRevoke,
+		obs.KindEPDelete:    obs.OpDelete,
+		obs.KindCreateChunk: obs.OpRetype,
+	}
+	for _, e := range tr.Events() {
+		if want, ok := wantOp[e.Kind]; ok && e.Op != want {
+			t.Errorf("%v event tagged %v, want %v", e.Kind, e.Op, want)
+		}
+	}
+
+	// Each timer was armed just before its walk, so all three long
+	// operations must own attributed samples; counts across all sources
+	// must cover every recorded latency.
+	srcs := map[obs.Op]uint64{}
+	var total uint64
+	for _, sl := range tr.SourceLatencies() {
+		srcs[sl.Source] = sl.Hist.Count()
+		total += sl.Hist.Count()
+	}
+	for _, want := range []obs.Op{obs.OpBadgeRevoke, obs.OpDelete, obs.OpRetype} {
+		if srcs[want] == 0 {
+			t.Errorf("no interrupt-response sample attributed to %v (got %v)", want, srcs)
+		}
+	}
+	if lat := tr.Latencies(); total != lat.Count() {
+		t.Errorf("per-source counts sum to %d, overall %d", total, lat.Count())
+	}
+}
+
 // TestTracerDisabledIdentical proves the disabled tracer changes
 // nothing: a traced and an untraced run of the same workload consume
 // identical simulated cycles and produce identical latencies, because

@@ -235,6 +235,8 @@ func (m *Machine) ExecBlock(b *kimage.Block, taken bool) uint64 {
 // state persists from previous runs (call Pollute or InvalidateCaches
 // to control it).
 func (m *Machine) Run(trace []*kimage.Block) uint64 {
+	m.tracer.SetOp(obs.OpReplay)
+	defer m.tracer.SetOp(obs.OpUser)
 	m.ResetTrace()
 	var total uint64
 	for i, b := range trace {

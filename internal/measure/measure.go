@@ -8,11 +8,11 @@ package measure
 
 import (
 	"fmt"
-	"sort"
 
 	"verikern/internal/arch"
 	"verikern/internal/kimage"
 	"verikern/internal/machine"
+	"verikern/internal/obs"
 )
 
 // Observation summarises a measurement campaign for one path.
@@ -31,11 +31,41 @@ type Observation struct {
 // clock.
 func (o Observation) Micros() float64 { return arch.CyclesToMicros(o.Max) }
 
+// PolluteSeed derives the cache-pollution seed for one run of a
+// measurement campaign from the campaign's base seed. The derivation
+// is a splitmix64 finaliser over (base, run), so distinct campaigns —
+// e.g. per-config soak workers feeding off one observatory seed —
+// draw from disjoint, well-mixed pollution sequences instead of the
+// linearly reused seeds campaigns shared before. Never returns zero.
+func PolluteSeed(base uint64, run int) uint32 {
+	x := base + uint64(run)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	s := uint32(x ^ x>>32)
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
 // Observe replays trace on a machine configured with hw, runs times,
 // each from a freshly polluted cache state (a different pollution seed
 // per run), and reports the distribution. The image's pin set is
-// installed first when the configuration locks L1 ways.
+// installed first when the configuration locks L1 ways. Observe is
+// ObserveSeeded with base seed 0 — the canonical campaign of the
+// table/figure drivers.
 func Observe(img *kimage.Image, hw arch.Config, trace []*kimage.Block, runs int) Observation {
+	return ObserveSeeded(img, hw, trace, runs, 0)
+}
+
+// ObserveSeeded is Observe under an explicit campaign base seed: run i
+// pollutes with PolluteSeed(base, i), so campaigns are reproducible
+// for a fixed base and composable — two campaigns with different bases
+// never reuse a pollution state.
+func ObserveSeeded(img *kimage.Image, hw arch.Config, trace []*kimage.Block, runs int, base uint64) Observation {
 	if runs <= 0 {
 		runs = 1
 	}
@@ -46,7 +76,7 @@ func Observe(img *kimage.Image, hw arch.Config, trace []*kimage.Block, runs int)
 	for i := 0; i < runs; i++ {
 		m := machine.New(hw)
 		m.LoadImage(img)
-		m.Pollute(uint32(i)*2654435761 + 1)
+		m.Pollute(PolluteSeed(base, i))
 		c := m.Run(trace)
 		if c > o.Max {
 			o.Max = c
@@ -89,7 +119,10 @@ func OverestimationPercent(computed, observed uint64) float64 {
 }
 
 // Summary is a latency distribution digest, for reporting measured
-// interrupt-response latencies.
+// interrupt-response latencies. It is backed by obs.Histogram, so its
+// quantiles share the observatory's conservative semantics: P50/P90/
+// P99 are upper bounds that never understate the true quantile (capped
+// at the exact observed maximum). Count, Min, Max and Mean are exact.
 type Summary struct {
 	Count         int
 	Min, Max      uint64
@@ -97,30 +130,33 @@ type Summary struct {
 	Mean          float64
 }
 
-// Summarize computes a distribution digest of the samples. An empty
-// input yields a zero Summary.
+// Summarize computes a distribution digest of the samples by folding
+// them through an obs.Histogram — one digest type across the
+// measurement and observability layers, where this package previously
+// reported exact sorted percentiles and obs reported bucketed ones.
+// An empty input yields a zero Summary.
 func Summarize(samples []uint64) Summary {
-	if len(samples) == 0 {
+	var h obs.Histogram
+	for _, s := range samples {
+		h.Record(s)
+	}
+	return SummarizeHistogram(&h)
+}
+
+// SummarizeHistogram digests an already-populated histogram — the
+// zero-copy path for tracer and soak-pool histograms.
+func SummarizeHistogram(h *obs.Histogram) Summary {
+	if h.Count() == 0 {
 		return Summary{}
 	}
-	sorted := append([]uint64(nil), samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	pct := func(p float64) uint64 {
-		idx := int(p * float64(len(sorted)-1))
-		return sorted[idx]
-	}
-	var sum uint64
-	for _, s := range sorted {
-		sum += s
-	}
 	return Summary{
-		Count: len(sorted),
-		Min:   sorted[0],
-		Max:   sorted[len(sorted)-1],
-		P50:   pct(0.50),
-		P90:   pct(0.90),
-		P99:   pct(0.99),
-		Mean:  float64(sum) / float64(len(sorted)),
+		Count: int(h.Count()),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Mean:  h.Mean(),
 	}
 }
 

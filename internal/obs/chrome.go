@@ -79,6 +79,9 @@ func (t *Tracer) ChromeEvents(cyclesPerMicro float64) []ChromeEvent {
 			S:    "g",
 			Args: map[string]any{"cycle": e.TS},
 		}
+		if e.Op != OpUser {
+			ce.Args["op"] = e.Op.String()
+		}
 		n1, n2 := argNames(e.Kind)
 		if n1 != "" {
 			if e.Kind == KindSchedPick && e.Arg1 == IdleArg {

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestChromeTraceGolden pins the kernel-tracer Chrome export byte-for-
+// byte: instant events for every kind, the replay complete-run event,
+// op attribution args, and the idle sched-pick sentinel.
+func TestChromeTraceGolden(t *testing.T) {
+	tr := NewTracer(32)
+	tr.SetOp(OpReplay)
+	tr.Emit(KindReplay, 0, 142957, 37)
+	tr.SetOp(OpSend)
+	tr.Emit(KindIRQRaise, 100, 0, 0)
+	tr.Emit(KindPreemptHit, 150, 0, 0)
+	tr.Emit(KindPreemptTaken, 160, 0, 0)
+	tr.Emit(KindIRQService, 420, 320, 0)
+	tr.SetOp(OpDelete)
+	tr.Emit(KindEPDelete, 500, 3, 0)
+	tr.SetOp(OpBadgeRevoke)
+	tr.Emit(KindIPCAbort, 600, 0xBEEF, 0)
+	tr.SetOp(OpRetype)
+	tr.Emit(KindCreateChunk, 700, 1024, 2048)
+	tr.SetOp(OpUser)
+	tr.Emit(KindSchedPick, 800, IdleArg, 0)
+	tr.Emit(KindSchedPick, 900, 5, 1)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, 532); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome_trace.json", buf.Bytes())
+
+	// The golden must also remain schema-valid.
+	var doc ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("golden is not valid trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 11 { // metadata + 10 events
+		t.Errorf("got %d trace events", len(doc.TraceEvents))
+	}
+}
+
+// TestStatsChromeTraceGolden pins the pipeline-stage export, including
+// JSON escaping of hostile counter and stage names — quotes,
+// backslashes and HTML-significant characters must round-trip.
+func TestStatsChromeTraceGolden(t *testing.T) {
+	epoch := time.UnixMicro(1_700_000_000_000_000).UTC()
+	s := StatsSnapshot{
+		Counters: map[string]uint64{
+			`ilp/solves`:          3,
+			`name with "quotes"`:  1,
+			`back\slash <& html>`: 2,
+		},
+		Stages: []StageTiming{
+			{Name: "cfg/build", Start: epoch, Duration: 1500 * time.Microsecond},
+			{Name: `classify "L1"`, Start: epoch.Add(2 * time.Millisecond), Duration: 750 * time.Microsecond},
+		},
+	}
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome_stats.json", buf.Bytes())
+
+	var doc ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("golden is not valid trace JSON: %v", err)
+	}
+	args := doc.TraceEvents[len(doc.TraceEvents)-1].Args
+	if args[`name with "quotes"`] != float64(1) || args[`back\slash <& html>`] != float64(2) {
+		t.Errorf("escaped counter names did not round-trip: %+v", args)
+	}
+}

@@ -51,8 +51,39 @@ func (h *Histogram) Record(v uint64) {
 	}
 }
 
+// Merge folds every sample of other into h, as if each had been
+// Recorded on h directly: bucket counts, total, sum, min and max all
+// combine exactly. Used for cross-worker aggregation in the soak pool
+// and for snapshot deltas. A nil or empty other is a no-op.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	if h.total == 0 {
+		*h = *other
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+	if other.min < h.min {
+		h.min = other.min
+	}
+}
+
+// Reset returns the histogram to its empty state.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.total }
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
 
 // Max returns the largest recorded sample (0 if empty).
 func (h *Histogram) Max() uint64 { return h.max }

@@ -1,0 +1,81 @@
+package obs
+
+import "testing"
+
+// TestHistogramMerge pins the exact-combine contract: merging two
+// histograms is indistinguishable from recording every sample on one.
+func TestHistogramMerge(t *testing.T) {
+	as := []uint64{0, 1, 7, 300, 1 << 20}
+	bs := []uint64{2, 2, 9000, ^uint64(0)}
+	var a, b, ref Histogram
+	for _, v := range as {
+		a.Record(v)
+		ref.Record(v)
+	}
+	for _, v := range bs {
+		b.Record(v)
+		ref.Record(v)
+	}
+	a.Merge(&b)
+	if a != ref {
+		t.Fatalf("merge diverges from direct recording:\n merged %+v\n direct %+v", a, ref)
+	}
+	if a.Count() != uint64(len(as)+len(bs)) || a.Min() != 0 || a.Max() != ^uint64(0) {
+		t.Errorf("merged stats: count=%d min=%d max=%d", a.Count(), a.Min(), a.Max())
+	}
+	// Quantiles come off the combined buckets.
+	if q := a.Quantile(1); q != ^uint64(0) {
+		t.Errorf("q100 = %d", q)
+	}
+}
+
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	var h Histogram
+	h.Record(5)
+	before := h
+
+	h.Merge(nil)
+	if h != before {
+		t.Error("merge(nil) changed the histogram")
+	}
+	var empty Histogram
+	h.Merge(&empty)
+	if h != before {
+		t.Error("merging an empty histogram changed the target")
+	}
+
+	// Merging into an empty histogram takes the other wholesale —
+	// including a min that would otherwise lose to the zero value.
+	var dst Histogram
+	var src Histogram
+	src.Record(40)
+	src.Record(60)
+	dst.Merge(&src)
+	if dst.Min() != 40 || dst.Max() != 60 || dst.Count() != 2 || dst.Sum() != 100 {
+		t.Errorf("merge into empty: min=%d max=%d count=%d sum=%d",
+			dst.Min(), dst.Max(), dst.Count(), dst.Sum())
+	}
+	// The source must be untouched.
+	if src.Count() != 2 {
+		t.Error("merge mutated its source")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 2, 3, 1 << 30} {
+		h.Record(v)
+	}
+	h.Reset()
+	if h != (Histogram{}) {
+		t.Fatalf("reset left state behind: %+v", h)
+	}
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.99) != 0 {
+		t.Error("reset histogram does not behave as empty")
+	}
+	// A reset histogram is immediately reusable.
+	h.Record(9)
+	if h.Count() != 1 || h.Min() != 9 || h.Max() != 9 {
+		t.Errorf("record after reset: %+v", h)
+	}
+}

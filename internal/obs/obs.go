@@ -104,6 +104,23 @@ type Event struct {
 	Arg1, Arg2 uint64
 	// Kind identifies the event type.
 	Kind Kind
+	// Op is the kernel operation in progress when the event was
+	// emitted (OpUser outside any operation).
+	Op Op
+}
+
+// Sample is one interrupt-response observation, delivered to the
+// sample hook as it is recorded. Source is the operation that was in
+// progress when the interrupt latched into the pending line — the
+// attribution the latency observatory keys its per-source histograms
+// and bound sentinel on.
+type Sample struct {
+	// TS is the cycle at which the interrupt was serviced.
+	TS uint64
+	// Latency is the response latency in cycles.
+	Latency uint64
+	// Source attributes the sample to a kernel operation.
+	Source Op
 }
 
 // Tracer collects events into a fixed-capacity ring buffer. The zero
@@ -118,6 +135,20 @@ type Tracer struct {
 	emitted uint64 // total events ever emitted
 	counts  [numKinds]uint64
 	lat     Histogram // interrupt-response latencies (KindIRQService)
+
+	// op is the operation tag stamped on emitted events; raiseOp is
+	// the tag latched by the most recent irq-raise, which attributes
+	// the next irq-service sample.
+	op      Op
+	raiseOp Op
+	// srcLat holds one latency histogram per operation tag; the
+	// array is preallocated so attribution never allocates.
+	srcLat [numOps]Histogram
+	// onSample, when set, receives every interrupt-response sample
+	// as it is recorded (the bound sentinel's live feed). It is
+	// invoked outside the tracer lock, so the hook may call back
+	// into the tracer (e.g. LastEvents for a flight-recorder dump).
+	onSample func(Sample)
 }
 
 // NewTracer returns a tracer whose ring holds the last `capacity`
@@ -140,14 +171,51 @@ func (t *Tracer) Emit(kind Kind, ts, arg1, arg2 uint64) {
 	if len(t.buf) < cap(t.buf) {
 		t.buf = t.buf[:len(t.buf)+1]
 	}
-	t.buf[t.emitted%uint64(cap(t.buf))] = Event{TS: ts, Arg1: arg1, Arg2: arg2, Kind: kind}
+	t.buf[t.emitted%uint64(cap(t.buf))] = Event{TS: ts, Arg1: arg1, Arg2: arg2, Kind: kind, Op: t.op}
 	t.emitted++
 	if kind < numKinds {
 		t.counts[kind]++
 	}
+	if kind == KindIRQRaise {
+		// The operation in progress when the line latched owns the
+		// latency of the service that follows.
+		t.raiseOp = t.op
+	}
+	var fire func(Sample)
+	var s Sample
 	if kind == KindIRQService {
 		t.lat.Record(arg1)
+		t.srcLat[t.raiseOp].Record(arg1)
+		s = Sample{TS: ts, Latency: arg1, Source: t.raiseOp}
+		fire = t.onSample
 	}
+	t.mu.Unlock()
+	if fire != nil {
+		fire(s)
+	}
+}
+
+// SetOp sets the operation tag stamped on subsequent events. The
+// kernel brackets every system call, tick and idle window with it.
+// Nil-safe: one predictable branch on a disabled tracer.
+func (t *Tracer) SetOp(op Op) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.op = op
+	t.mu.Unlock()
+}
+
+// SetSampleHook installs fn as the live interrupt-response sample
+// consumer (nil to remove). The hook runs synchronously on the
+// emitting goroutine but outside the tracer lock.
+func (t *Tracer) SetSampleHook(fn func(Sample)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.onSample = fn
 	t.mu.Unlock()
 }
 
@@ -194,6 +262,10 @@ func (t *Tracer) Events() []Event {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.eventsLocked()
+}
+
+func (t *Tracer) eventsLocked() []Event {
 	n := len(t.buf)
 	out := make([]Event, n)
 	if t.emitted <= uint64(cap(t.buf)) {
@@ -204,6 +276,48 @@ func (t *Tracer) Events() []Event {
 	start := int(t.emitted % uint64(cap(t.buf)))
 	copy(out, t.buf[start:])
 	copy(out[n-start:], t.buf[:start])
+	return out
+}
+
+// LastEvents returns (a copy of) the most recent n retained events in
+// emission order — the flight-recorder capture a bound sentinel dumps
+// on a violation. n <= 0 returns nil; n larger than the retained count
+// returns everything retained.
+func (t *Tracer) LastEvents(n int) []Event {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	all := t.eventsLocked()
+	if n >= len(all) {
+		return all
+	}
+	return all[len(all)-n:]
+}
+
+// SourceLatency pairs an operation tag with its interrupt-response
+// latency histogram.
+type SourceLatency struct {
+	Source Op
+	Hist   Histogram
+}
+
+// SourceLatencies returns a snapshot of the non-empty per-source
+// latency histograms in operation-tag order. The sum of their counts
+// equals Latencies().Count().
+func (t *Tracer) SourceLatencies() []SourceLatency {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SourceLatency
+	for op := Op(0); op < numOps; op++ {
+		if t.srcLat[op].Count() > 0 {
+			out = append(out, SourceLatency{Source: op, Hist: t.srcLat[op]})
+		}
+	}
 	return out
 }
 

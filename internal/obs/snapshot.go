@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file is the exposition layer of the latency observatory: a
+// Snapshot aggregates tracer histograms, per-source latency digests
+// and metrics counters into a stable JSON document and a
+// Prometheus-style text format, served by `kzm-sim -serve` and written
+// by `kzm-sim -bench-out`. Both renderings are deterministic for a
+// fixed input: struct fields are emitted in declaration order, maps
+// with sorted keys, so golden tests can byte-compare the output.
+
+// LatencyDigest is the serialisable distribution digest of one latency
+// histogram. Quantiles carry the histogram's conservative semantics:
+// P50/P90/P99 are upper bounds that never understate the true
+// quantile, capped at the exact observed maximum.
+type LatencyDigest struct {
+	// Source is the operation tag the digest is attributed to
+	// (empty for the all-sources aggregate).
+	Source string `json:"source,omitempty"`
+	Count  uint64 `json:"count"`
+	Min    uint64 `json:"min"`
+	Max    uint64 `json:"max"`
+	// Mean is the exact average in cycles.
+	Mean float64 `json:"mean"`
+	P50  uint64  `json:"p50"`
+	P90  uint64  `json:"p90"`
+	P99  uint64  `json:"p99"`
+}
+
+// DigestHistogram summarises a histogram into a LatencyDigest.
+func DigestHistogram(source string, h *Histogram) LatencyDigest {
+	return LatencyDigest{
+		Source: source,
+		Count:  h.Count(),
+		Min:    h.Min(),
+		Max:    h.Max(),
+		Mean:   h.Mean(),
+		P50:    h.Quantile(0.50),
+		P90:    h.Quantile(0.90),
+		P99:    h.Quantile(0.99),
+	}
+}
+
+// BoundStatus reports the bound sentinel's standing verdict: the
+// computed WCET bound the live samples are checked against, and how
+// often it was breached or approached.
+type BoundStatus struct {
+	// Cycles is the computed WCET bound (syscall + interrupt path).
+	Cycles uint64 `json:"cycles"`
+	// MarginPercent is the near-bound capture margin.
+	MarginPercent float64 `json:"margin_percent"`
+	// Violations counts samples that exceeded the bound.
+	Violations uint64 `json:"violations"`
+	// NearMax counts new observed maxima within the margin.
+	NearMax uint64 `json:"near_max"`
+	// Captures is the number of flight-recorder captures taken.
+	Captures uint64 `json:"captures"`
+}
+
+// Snapshot is a point-in-time, serialisable view of the observability
+// state: event counts, the overall and per-source interrupt-latency
+// digests, the sentinel's bound status and any metrics counters.
+// Construct with NewSnapshot, fold state in with the Add methods, set
+// the identity fields, then render with WriteJSON or WritePrometheus.
+type Snapshot struct {
+	// Label identifies the run configuration (e.g.
+	// "benno+preempt+pinned").
+	Label string `json:"label,omitempty"`
+	// Seed is the workload seed the run is reproducible from.
+	Seed uint64 `json:"seed"`
+	// Workers is the number of parallel kernel instances aggregated.
+	Workers int `json:"workers,omitempty"`
+	// Ops is the number of workload operations driven.
+	Ops uint64 `json:"ops,omitempty"`
+	// SimCycles is the simulated cycle time consumed (summed across
+	// workers).
+	SimCycles uint64 `json:"sim_cycles,omitempty"`
+	// EventsEmitted / EventsDropped total the tracer rings.
+	EventsEmitted uint64 `json:"events_emitted"`
+	EventsDropped uint64 `json:"events_dropped"`
+	// EventCounts maps event kind to count (whole-run, wrap-proof).
+	EventCounts map[string]uint64 `json:"event_counts,omitempty"`
+	// IRQ is the all-sources interrupt-response digest.
+	IRQ LatencyDigest `json:"irq_latency"`
+	// Sources lists the per-source digests in operation-tag order.
+	Sources []LatencyDigest `json:"sources,omitempty"`
+	// Bound is the sentinel status, when a sentinel was attached.
+	Bound *BoundStatus `json:"bound,omitempty"`
+	// Counters carries metrics-registry counters (analysis pipeline,
+	// cache, ...). Stage wall times are deliberately excluded: they
+	// are not deterministic and would break byte-stable goldens.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+
+	// Raw histograms backing the digests, kept for the Prometheus
+	// bucket exposition; not serialised to JSON.
+	irqHist Histogram
+	srcHist [numOps]Histogram
+}
+
+// NewSnapshot returns an empty snapshot.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{EventCounts: make(map[string]uint64)}
+}
+
+// AddTracer folds a tracer's event counts and latency histograms into
+// the snapshot. Call once per worker tracer; histograms merge exactly.
+func (s *Snapshot) AddTracer(t *Tracer) {
+	if t == nil {
+		return
+	}
+	s.EventsEmitted += t.Emitted()
+	s.EventsDropped += t.Dropped()
+	for k := Kind(0); k < numKinds; k++ {
+		if c := t.Count(k); c > 0 {
+			s.EventCounts[k.String()] += c
+		}
+	}
+	lat := t.Latencies()
+	s.irqHist.Merge(&lat)
+	for _, sl := range t.SourceLatencies() {
+		h := sl.Hist
+		s.srcHist[sl.Source].Merge(&h)
+	}
+	s.refreshDigests()
+}
+
+// AddMetrics folds a metrics registry's counters into the snapshot
+// (stage timings are excluded; see Counters).
+func (s *Snapshot) AddMetrics(m *Metrics) {
+	if m == nil {
+		return
+	}
+	stats := m.Stats()
+	if len(stats.Counters) == 0 {
+		return
+	}
+	if s.Counters == nil {
+		s.Counters = make(map[string]uint64, len(stats.Counters))
+	}
+	for k, v := range stats.Counters {
+		s.Counters[k] += v
+	}
+}
+
+// refreshDigests recomputes the derived digest fields from the raw
+// histograms.
+func (s *Snapshot) refreshDigests() {
+	s.IRQ = DigestHistogram("", &s.irqHist)
+	s.Sources = s.Sources[:0]
+	for op := Op(0); op < numOps; op++ {
+		if s.srcHist[op].Count() > 0 {
+			s.Sources = append(s.Sources, DigestHistogram(op.String(), &s.srcHist[op]))
+		}
+	}
+}
+
+// SourceDigests returns the per-source digests (nil when no samples
+// were attributed).
+func (s *Snapshot) SourceDigests() []LatencyDigest { return s.Sources }
+
+// WriteJSON renders the snapshot as an indented, byte-stable JSON
+// document (terminated by a newline).
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", " ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// promEscape escapes a Prometheus label value.
+func promEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// writeHistProm writes one histogram as a Prometheus histogram series
+// with the given source label.
+func writeHistProm(w io.Writer, source string, h *Histogram) error {
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		c := h.BucketCount(i)
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if _, err := fmt.Fprintf(w, "verikern_irq_latency_cycles_bucket{source=%q,le=%q} %d\n",
+			promEscape(source), fmt.Sprint(BucketUpperBound(i)), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w,
+		"verikern_irq_latency_cycles_bucket{source=%q,le=\"+Inf\"} %d\nverikern_irq_latency_cycles_sum{source=%q} %d\nverikern_irq_latency_cycles_count{source=%q} %d\n",
+		promEscape(source), h.Count(), promEscape(source), h.Sum(), promEscape(source), h.Count())
+	return err
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4). Latency histograms become
+// histogram series labelled by source; event counts, sentinel status
+// and metrics counters become counters and gauges. Output is
+// byte-stable for a fixed snapshot.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	s.refreshDigests()
+	fmt.Fprintf(w, "# HELP verikern_irq_latency_cycles Interrupt-response latency in simulated cycles, by kernel operation in progress at IRQ latch.\n")
+	fmt.Fprintf(w, "# TYPE verikern_irq_latency_cycles histogram\n")
+	if err := writeHistProm(w, "all", &s.irqHist); err != nil {
+		return err
+	}
+	for op := Op(0); op < numOps; op++ {
+		if s.srcHist[op].Count() == 0 {
+			continue
+		}
+		if err := writeHistProm(w, op.String(), &s.srcHist[op]); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "# HELP verikern_irq_latency_max_cycles Worst observed interrupt-response latency in cycles.\n")
+	fmt.Fprintf(w, "# TYPE verikern_irq_latency_max_cycles gauge\n")
+	fmt.Fprintf(w, "verikern_irq_latency_max_cycles{source=\"all\"} %d\n", s.irqHist.Max())
+	for op := Op(0); op < numOps; op++ {
+		if s.srcHist[op].Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "verikern_irq_latency_max_cycles{source=%q} %d\n", promEscape(op.String()), s.srcHist[op].Max())
+	}
+
+	fmt.Fprintf(w, "# HELP verikern_events_total Trace events emitted, by kind.\n")
+	fmt.Fprintf(w, "# TYPE verikern_events_total counter\n")
+	kinds := make([]string, 0, len(s.EventCounts))
+	for k := range s.EventCounts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "verikern_events_total{kind=%q} %d\n", promEscape(k), s.EventCounts[k])
+	}
+	fmt.Fprintf(w, "# TYPE verikern_events_dropped_total counter\nverikern_events_dropped_total %d\n", s.EventsDropped)
+
+	if s.Ops > 0 {
+		fmt.Fprintf(w, "# TYPE verikern_soak_ops_total counter\nverikern_soak_ops_total %d\n", s.Ops)
+	}
+	if s.SimCycles > 0 {
+		fmt.Fprintf(w, "# TYPE verikern_sim_cycles_total counter\nverikern_sim_cycles_total %d\n", s.SimCycles)
+	}
+	if s.Bound != nil {
+		fmt.Fprintf(w, "# HELP verikern_wcet_bound_cycles Computed WCET bound the sentinel checks live samples against.\n")
+		fmt.Fprintf(w, "# TYPE verikern_wcet_bound_cycles gauge\nverikern_wcet_bound_cycles %d\n", s.Bound.Cycles)
+		fmt.Fprintf(w, "# TYPE verikern_wcet_bound_violations_total counter\nverikern_wcet_bound_violations_total %d\n", s.Bound.Violations)
+		fmt.Fprintf(w, "# TYPE verikern_flight_recorder_captures_total counter\nverikern_flight_recorder_captures_total %d\n", s.Bound.Captures)
+	}
+
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(w, "# HELP verikern_pipeline_counter Analysis-pipeline and cache counters from the metrics registry.\n")
+		fmt.Fprintf(w, "# TYPE verikern_pipeline_counter counter\n")
+		names := make([]string, 0, len(s.Counters))
+		for n := range s.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, "verikern_pipeline_counter{name=%q} %d\n", promEscape(n), s.Counters[n])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package soak
+
+import (
+	"context"
+	"fmt"
+
+	"verikern/internal/arch"
+	"verikern/internal/kbin"
+	"verikern/internal/wcet"
+)
+
+// ComputeBound runs the WCET analysis pipeline for the configuration's
+// kernel image and returns the worst-case interrupt-response bound the
+// sentinel checks live samples against: the system-call bound (the
+// longest non-preemptible stretch an interrupt can land behind) plus
+// the interrupt-path bound, as composed by the paper's headline number
+// (§6). The kernel generation is taken from the functional config's
+// PreemptionPoints flag — the modernised image carries the §3
+// restructuring, the original image the monolithic walks.
+func ComputeBound(ctx context.Context, cfg Config) (uint64, error) {
+	img, cons, err := kbin.Build(kbin.Options{
+		Modernised: cfg.Kernel.PreemptionPoints,
+		Pinned:     cfg.Pinned,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("soak: building image: %w", err)
+	}
+	hw := arch.Config{}
+	if cfg.Pinned {
+		hw.PinnedL1Ways = 1
+	}
+	a := wcet.New(img, hw)
+	a.AddConstraints(cons...)
+	sys, err := a.AnalyzeContext(ctx, kbin.EntrySyscall)
+	if err != nil {
+		return 0, fmt.Errorf("soak: syscall bound: %w", err)
+	}
+	irq, err := a.AnalyzeContext(ctx, kbin.EntryInterrupt)
+	if err != nil {
+		return 0, fmt.Errorf("soak: interrupt bound: %w", err)
+	}
+	return sys.Cycles + irq.Cycles, nil
+}

@@ -1,0 +1,88 @@
+package soak
+
+import "verikern/internal/obs"
+
+// Capture is one flight-recorder dump: the sample that tripped the
+// sentinel and the trailing window of trace events leading up to it.
+type Capture struct {
+	// Sample is the offending interrupt-response observation.
+	Sample obs.Sample
+	// Reason is "violation" (sample exceeded the bound) or "near-max"
+	// (new observed maximum within the margin of the bound).
+	Reason string
+	// Worker is the index of the worker whose kernel produced it.
+	Worker int
+	// Events is the preserved trace window, oldest first.
+	Events []obs.Event
+}
+
+// sentinel is the live bound checker: it receives every interrupt-
+// response sample via the tracer's sample hook, compares it against
+// the computed WCET bound, and snapshots the flight recorder (the
+// tracer's trailing events) when the bound is breached or a new
+// maximum lands inside the near-bound margin.
+//
+// The sentinel is single-goroutine (the hook runs synchronously on the
+// worker driving the kernel), so it needs no locking; the hook fires
+// outside the tracer lock, which is what makes the LastEvents
+// call-back safe.
+type sentinel struct {
+	tracer       *obs.Tracer
+	bound        uint64
+	margin       float64 // percent
+	flightEvents int
+	maxCaptures  int
+
+	violations uint64
+	nearMax    uint64
+	maxSeen    uint64
+	captures   []Capture
+}
+
+func newSentinel(tr *obs.Tracer, bound uint64, marginPercent float64, flightEvents, maxCaptures int) *sentinel {
+	return &sentinel{
+		tracer:       tr,
+		bound:        bound,
+		margin:       marginPercent,
+		flightEvents: flightEvents,
+		maxCaptures:  maxCaptures,
+	}
+}
+
+// sample is the tracer hook. With no bound configured the sentinel
+// only tracks the observed maximum.
+func (s *sentinel) sample(sm obs.Sample) {
+	reason := ""
+	if s.bound > 0 {
+		switch {
+		case sm.Latency > s.bound:
+			s.violations++
+			reason = "violation"
+		case sm.Latency > s.maxSeen &&
+			float64(sm.Latency) >= float64(s.bound)*(1-s.margin/100):
+			s.nearMax++
+			reason = "near-max"
+		}
+	}
+	if sm.Latency > s.maxSeen {
+		s.maxSeen = sm.Latency
+	}
+	if reason != "" && len(s.captures) < s.maxCaptures {
+		s.captures = append(s.captures, Capture{
+			Sample: sm,
+			Reason: reason,
+			Events: s.tracer.LastEvents(s.flightEvents),
+		})
+	}
+}
+
+// status summarises the sentinel for the exposition layer.
+func (s *sentinel) status() obs.BoundStatus {
+	return obs.BoundStatus{
+		Cycles:        s.bound,
+		MarginPercent: s.margin,
+		Violations:    s.violations,
+		NearMax:       s.nearMax,
+		Captures:      uint64(len(s.captures)),
+	}
+}

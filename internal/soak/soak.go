@@ -1,0 +1,488 @@
+// Package soak is the latency observatory's workload engine: it drives
+// long randomized workloads against the functional kernel — mixed IPC,
+// endpoint deletion with queued waiters, badged aborts, object
+// retyping, address-space churn — with timer interrupts armed at
+// randomized phases, and records every interrupt-response sample into
+// per-source histograms attributed to the kernel operation in progress
+// when the IRQ latched.
+//
+// A soak is seeded and deterministic: the same Config produces the
+// same operation sequence, the same simulated-cycle timeline and the
+// same latency distribution, so snapshots golden-test byte-for-byte.
+// Runs are resumable — a Runner steps in increments and can be driven
+// until an op budget or a wall-clock deadline is reached.
+//
+// A bound sentinel (sentinel.go) checks each sample live against the
+// computed WCET interrupt-response bound from the analysis pipeline
+// and dumps a flight-recorder capture of the trailing trace window on
+// a violation or a new observed maximum within a configurable margin.
+package soak
+
+import (
+	"fmt"
+	"math/rand"
+
+	"verikern/internal/kernel"
+	"verikern/internal/kobj"
+	"verikern/internal/obs"
+)
+
+// Config parameterises one soak run.
+type Config struct {
+	// Label names the configuration (e.g. "benno+preempt+pinned").
+	Label string
+	// Seed makes the workload reproducible; workers derive disjoint
+	// sub-seeds from it.
+	Seed uint64
+	// Ops is the total operation budget across all workers.
+	Ops uint64
+	// Workers is the number of independent kernel instances driven in
+	// parallel (each deterministic in isolation; results merge in
+	// worker order). Defaults to 1.
+	Workers int
+	// Kernel is the functional-kernel configuration under soak.
+	Kernel kernel.Config
+	// Pinned selects the L1 way-pinned interrupt path when computing
+	// the WCET bound for the sentinel.
+	Pinned bool
+	// BoundCycles is the WCET interrupt-response bound the sentinel
+	// checks samples against. Zero means "compute it" via
+	// ComputeBound (Run does this once per config).
+	BoundCycles uint64
+	// MarginPercent arms the near-bound capture: a new observed
+	// maximum within this percentage of the bound takes a flight
+	// capture even without a violation. Default 10.
+	MarginPercent float64
+	// RingCap is the per-worker tracer ring capacity. Default 4096.
+	RingCap int
+	// FlightEvents is how many trailing events a flight-recorder
+	// capture preserves. Default 64.
+	FlightEvents int
+	// MaxCaptures caps the per-worker capture count. Default 4.
+	MaxCaptures int
+	// PoolThreads is the per-worker reusable thread-pool size.
+	// Default 8. The pool is allocated once at boot — long soaks must
+	// not grow the (never-reclaimed) untyped watermark per op.
+	PoolThreads int
+	// AllocReserveBytes stops allocating op kinds once the root
+	// untyped's free space falls below it, so arbitrarily long soaks
+	// degrade to non-allocating churn instead of failing. Default
+	// 8 MiB.
+	AllocReserveBytes uint32
+}
+
+func (c Config) withDefaults() Config {
+	if c.Label == "" {
+		c.Label = "soak"
+	}
+	if c.Ops == 0 {
+		c.Ops = 1000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MarginPercent == 0 {
+		c.MarginPercent = 10
+	}
+	if c.RingCap == 0 {
+		c.RingCap = 4096
+	}
+	if c.FlightEvents == 0 {
+		c.FlightEvents = 64
+	}
+	if c.MaxCaptures == 0 {
+		c.MaxCaptures = 4
+	}
+	if c.PoolThreads == 0 {
+		c.PoolThreads = 8
+	}
+	if c.AllocReserveBytes == 0 {
+		c.AllocReserveBytes = 8 << 20
+	}
+	return c
+}
+
+// subSeed derives worker w's private seed from the campaign seed with
+// a splitmix64 finaliser, so workers draw from disjoint, well-mixed
+// sequences.
+func subSeed(seed uint64, w int) int64 {
+	x := seed + uint64(w)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}
+
+// Runner drives one worker's kernel instance. It is single-goroutine
+// and resumable: Step executes a batch of operations and may be called
+// repeatedly until the desired budget is spent.
+type Runner struct {
+	cfg    Config
+	index  int
+	k      *kernel.Kernel
+	tracer *obs.Tracer
+	sent   *sentinel
+	rng    *rand.Rand
+
+	adv  *kobj.TCB // driver thread, performs most invocations
+	vs   *kobj.TCB // dedicated address-space guinea pig
+	pool []*kobj.TCB
+
+	epAddr   uint32 // persistent rendezvous endpoint
+	ntfnAddr uint32 // persistent notification
+	irqAddr  uint32 // IRQ-handler notification cap
+
+	ops uint64
+}
+
+// NewRunner boots a kernel for worker `index` of the configuration and
+// prepares its thread pool and persistent objects. The configuration
+// must already carry a resolved BoundCycles (Run fills it in; direct
+// Runner users may leave it zero to disable the sentinel's bound
+// check).
+func NewRunner(cfg Config, index int) (*Runner, error) {
+	cfg = cfg.withDefaults()
+	k, err := kernel.New(cfg.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	tr := obs.NewTracer(cfg.RingCap)
+	k.SetTracer(tr)
+	r := &Runner{
+		cfg:    cfg,
+		index:  index,
+		k:      k,
+		tracer: tr,
+		rng:    rand.New(rand.NewSource(subSeed(cfg.Seed, index))),
+	}
+	r.sent = newSentinel(tr, cfg.BoundCycles, cfg.MarginPercent, cfg.FlightEvents, cfg.MaxCaptures)
+	tr.SetSampleHook(r.sent.sample)
+
+	if r.adv, err = k.CreateThread(fmt.Sprintf("soak%d/adv", index), 128); err != nil {
+		return nil, err
+	}
+	k.StartThread(r.adv)
+	if r.vs, err = k.CreateThread(fmt.Sprintf("soak%d/vs", index), 64); err != nil {
+		return nil, err
+	}
+	k.StartThread(r.vs)
+	for i := 0; i < cfg.PoolThreads; i++ {
+		w, err := k.CreateThread(fmt.Sprintf("soak%d/w%d", index, i), uint8(40+i%32))
+		if err != nil {
+			return nil, err
+		}
+		k.StartThread(w)
+		r.pool = append(r.pool, w)
+	}
+	eps, err := k.CreateObjects(r.adv, kobj.TypeEndpoint, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	r.epAddr = eps[0]
+	ntfns, err := k.CreateObjects(r.adv, kobj.TypeNotification, 0, 2)
+	if err != nil {
+		return nil, err
+	}
+	r.ntfnAddr, r.irqAddr = ntfns[0], ntfns[1]
+	if err := k.RegisterIRQHandler(r.adv, r.irqAddr); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Kernel exposes the runner's kernel instance (tests inspect it).
+func (r *Runner) Kernel() *kernel.Kernel { return r.k }
+
+// Tracer exposes the runner's tracer for aggregation.
+func (r *Runner) Tracer() *obs.Tracer { return r.tracer }
+
+// Ops returns how many workload operations have been executed.
+func (r *Runner) Ops() uint64 { return r.ops }
+
+// freeThread returns a runnable pool thread, preferring a rotating
+// start point so work spreads across the pool. Threads left blocked by
+// an in-flight wait are skipped.
+func (r *Runner) freeThread() (*kobj.TCB, error) {
+	n := len(r.pool)
+	start := r.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		w := r.pool[(start+i)%n]
+		if w.State.Runnable() {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("soak: no runnable pool thread")
+}
+
+// armTimer programs a one-shot timer a randomized phase into the
+// future, so the IRQ latches at an unpredictable point of the next
+// operation — the scatter that populates every per-source histogram.
+func (r *Runner) armTimer() {
+	// Phases span sub-entry (latches immediately at the next kernel
+	// look) to beyond a long walk (latches during a later op or an
+	// idle window).
+	phase := uint64(100 + r.rng.Intn(20_000))
+	r.k.SetTimer(r.k.Now() + phase)
+}
+
+// canAlloc reports whether allocating op kinds may still run.
+func (r *Runner) canAlloc(need uint32) bool {
+	return r.k.RootUntyped().FreeBytes() >= need+r.cfg.AllocReserveBytes
+}
+
+// Step executes n workload operations. Errors are fatal to the run —
+// the workload only issues invocations that must succeed, so an error
+// is a kernel bug (or resource-model misuse), not noise.
+func (r *Runner) Step(n int) error {
+	for i := 0; i < n; i++ {
+		if r.rng.Float64() < 0.7 {
+			r.armTimer()
+		}
+		if err := r.oneOp(); err != nil {
+			return fmt.Errorf("soak %s worker %d op %d: %w", r.cfg.Label, r.index, r.ops, err)
+		}
+		r.ops++
+		if err := r.k.InvariantFailure(); err != nil {
+			return fmt.Errorf("soak %s worker %d op %d: %w", r.cfg.Label, r.index, r.ops, err)
+		}
+	}
+	return nil
+}
+
+// oneOp picks and runs one weighted random operation.
+func (r *Runner) oneOp() error {
+	switch p := r.rng.Intn(100); {
+	case p < 25:
+		return r.opIPC()
+	case p < 35:
+		return r.opReplyRecv()
+	case p < 50:
+		return r.opEndpointChurn()
+	case p < 60:
+		return r.opRetype()
+	case p < 65:
+		return r.opVSpace()
+	case p < 72:
+		return r.opCapOps()
+	case p < 79:
+		return r.opThreadCtl()
+	case p < 89:
+		return r.opSignal()
+	case p < 94:
+		r.k.Yield()
+		return nil
+	default:
+		r.k.Idle(uint64(500 + r.rng.Intn(5_000)))
+		return nil
+	}
+}
+
+// opIPC is a send/receive rendezvous on the persistent endpoint: a
+// pool thread queues a message, the driver receives it. Both ends are
+// runnable afterwards, so the pool never leaks blocked threads.
+func (r *Runner) opIPC() error {
+	w, err := r.freeThread()
+	if err != nil {
+		return err
+	}
+	msgLen := r.rng.Intn(120)
+	if err := r.k.Send(w, r.epAddr, msgLen, nil, false); err != nil {
+		return err
+	}
+	return r.k.Recv(r.adv, r.epAddr)
+}
+
+// opReplyRecv exercises the combined reply-and-receive path (§6.1,
+// including the SplitSendReceive preemption point when configured): a
+// caller blocks awaiting a reply, a second sender is pre-queued so the
+// receive phase completes without blocking the driver.
+func (r *Runner) opReplyRecv() error {
+	caller, err := r.freeThread()
+	if err != nil {
+		return err
+	}
+	if err := r.k.Call(caller, r.epAddr, r.rng.Intn(60), nil); err != nil {
+		return err
+	}
+	next, err := r.freeThread()
+	if err != nil {
+		return err
+	}
+	if err := r.k.Send(next, r.epAddr, r.rng.Intn(60), nil, false); err != nil {
+		return err
+	}
+	if err := r.k.Recv(r.adv, r.epAddr); err != nil {
+		return err
+	}
+	return r.k.ReplyRecv(r.adv, r.epAddr)
+}
+
+// opEndpointChurn is the paper's adversarial deletion scenario (§3.3,
+// §3.4): a fresh endpoint gathers badged waiters, the badge is revoked
+// (aborting each queued IPC with a preemption point per waiter), the
+// queue refills unbadged, and the endpoint is deleted (restarting each
+// waiter likewise). All caps are deleted so CNode slots recycle; only
+// the 16-byte endpoint itself stays behind on the watermark.
+func (r *Runner) opEndpointChurn() error {
+	if !r.canAlloc(16) {
+		return r.opIPC()
+	}
+	eps, err := r.k.CreateObjects(r.adv, kobj.TypeEndpoint, 0, 1)
+	if err != nil {
+		return err
+	}
+	ep := eps[0]
+	badge := uint32(1 + r.rng.Intn(1<<16))
+	badged, err := r.k.MintBadgedCap(r.adv, ep, badge)
+	if err != nil {
+		return err
+	}
+	waiters := 2 + r.rng.Intn(5)
+	for i := 0; i < waiters; i++ {
+		w, err := r.freeThread()
+		if err != nil {
+			return err
+		}
+		if err := r.k.Send(w, badged, 1, nil, false); err != nil {
+			return err
+		}
+	}
+	r.armTimer()
+	// Badge revocation deletes every derived cap carrying the badge
+	// (phase 1), including `badged` itself, then aborts the queued
+	// IPCs — no explicit cleanup of the minted cap is needed.
+	if err := r.k.RevokeBadge(r.adv, ep, badge); err != nil {
+		return err
+	}
+	for i := 0; i < waiters; i++ {
+		w, err := r.freeThread()
+		if err != nil {
+			return err
+		}
+		if err := r.k.Send(w, ep, 1, nil, false); err != nil {
+			return err
+		}
+	}
+	r.armTimer()
+	return r.k.DeleteCap(r.adv, ep)
+}
+
+// opRetype creates one frame (4–64 KiB) — the chunked, preemptible
+// clear of §3.5 — then deletes its cap to recycle the slot.
+func (r *Runner) opRetype() error {
+	bits := uint8(12 + r.rng.Intn(5)) // 4 KiB .. 64 KiB
+	if !r.canAlloc(1 << bits) {
+		return r.opIPC()
+	}
+	frames, err := r.k.CreateObjects(r.adv, kobj.TypeFrame, bits, 1)
+	if err != nil {
+		return err
+	}
+	return r.k.DeleteCap(r.adv, frames[0])
+}
+
+// opVSpace builds and tears down an address space on the dedicated
+// vspace thread: page directory (with its non-preemptible kernel-
+// window copy), page table and frame maps, unmap, then the §3.6
+// deletion walk.
+func (r *Runner) opVSpace() error {
+	if !r.canAlloc((16 << 10) + (1 << 10) + (4 << 10)) {
+		return r.opIPC()
+	}
+	pds, err := r.k.CreateObjects(r.adv, kobj.TypePageDirectory, 0, 1)
+	if err != nil {
+		return err
+	}
+	pts, err := r.k.CreateObjects(r.adv, kobj.TypePageTable, 0, 1)
+	if err != nil {
+		return err
+	}
+	frames, err := r.k.CreateObjects(r.adv, kobj.TypeFrame, 12, 1)
+	if err != nil {
+		return err
+	}
+	if err := r.k.AssignVSpace(r.vs, pds[0]); err != nil {
+		return err
+	}
+	base := uint32(r.rng.Intn(256)) << 20 // a random 1 MiB region
+	if err := r.k.MapPageTable(r.vs, pts[0], base); err != nil {
+		return err
+	}
+	vaddr := base + uint32(r.rng.Intn(256))<<12
+	if err := r.k.MapFrame(r.vs, frames[0], vaddr); err != nil {
+		return err
+	}
+	if err := r.k.UnmapFrame(r.vs, frames[0]); err != nil {
+		return err
+	}
+	r.armTimer()
+	if err := r.k.DeleteVSpace(r.vs, pds[0]); err != nil {
+		return err
+	}
+	if err := r.k.DeleteCap(r.adv, pts[0]); err != nil {
+		return err
+	}
+	return r.k.DeleteCap(r.adv, frames[0])
+}
+
+// opCapOps exercises the constant-time capability operations plus a
+// subtree revocation rooted at the persistent endpoint's cap.
+func (r *Runner) opCapOps() error {
+	cp, err := r.k.CopyCap(r.adv, r.epAddr, kobj.RightsAll)
+	if err != nil {
+		return err
+	}
+	mv, err := r.k.MoveCap(r.adv, cp)
+	if err != nil {
+		return err
+	}
+	if _, err := r.k.MintBadgedCap(r.adv, mv, uint32(1+r.rng.Intn(1<<8))); err != nil {
+		return err
+	}
+	r.armTimer()
+	// Revoking the persistent cap deletes the copy (and its badged
+	// child) one step per preemption interval.
+	return r.k.Revoke(r.adv, r.epAddr)
+}
+
+// opThreadCtl drives TCB invocations on a pool thread.
+func (r *Runner) opThreadCtl() error {
+	w, err := r.freeThread()
+	if err != nil {
+		return err
+	}
+	if err := r.k.SetPriority(r.adv, w, uint8(10+r.rng.Intn(100))); err != nil {
+		return err
+	}
+	if err := r.k.Suspend(r.adv, w); err != nil {
+		return err
+	}
+	return r.k.Resume(r.adv, w)
+}
+
+// opSignal drives the notification paths: signal+poll on the
+// persistent notification, and — when an interrupt was serviced
+// recently enough to have latched the handler notification — a WaitIRQ
+// that consumes the pending signal without blocking.
+func (r *Runner) opSignal() error {
+	if err := r.k.SignalCap(r.adv, r.ntfnAddr); err != nil {
+		return err
+	}
+	if _, err := r.k.PollCap(r.adv, r.ntfnAddr); err != nil {
+		return err
+	}
+	if r.rng.Intn(2) == 0 {
+		// Force an interrupt through an idle window so the handler
+		// notification is pending, then consume it.
+		r.k.SetTimer(r.k.Now() + 200)
+		r.k.Idle(1_000)
+		w, err := r.freeThread()
+		if err != nil {
+			return err
+		}
+		return r.k.WaitIRQ(w, r.irqAddr)
+	}
+	return nil
+}

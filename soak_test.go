@@ -1,0 +1,71 @@
+package verikern
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSoakReportMatrix drives the full latency-observatory sweep at a
+// small op budget and checks the acceptance property end to end: every
+// configuration stays within its own computed WCET bound, and the
+// artifact serialisation round-trips.
+func TestSoakReportMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the WCET pipeline four times")
+	}
+	const seed, ops = 42, 600
+	reps, err := SoakReport(context.Background(), seed, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := SoakConfigs()
+	if len(reps) != len(cfgs) {
+		t.Fatalf("got %d reports for %d configs", len(reps), len(cfgs))
+	}
+	for i, r := range reps {
+		if r.Label != cfgs[i].Name {
+			t.Errorf("report %d label %q, want %q", i, r.Label, cfgs[i].Name)
+		}
+		if r.Ops != ops {
+			t.Errorf("%s: ran %d ops, want %d", r.Label, r.Ops, ops)
+		}
+		if r.Bound.Cycles == 0 {
+			t.Errorf("%s: no WCET bound resolved", r.Label)
+		}
+		if r.Bound.Violations != 0 {
+			t.Errorf("%s: %d violations of bound %d (max %d)",
+				r.Label, r.Bound.Violations, r.Bound.Cycles, r.MaxLatency)
+		}
+	}
+	// The pinned bound is the tightest; the lazy kernel's the loosest.
+	if reps[0].Bound.Cycles >= reps[1].Bound.Cycles {
+		t.Errorf("pinned bound %d not tighter than unpinned %d",
+			reps[0].Bound.Cycles, reps[1].Bound.Cycles)
+	}
+	if reps[3].Bound.Cycles <= reps[1].Bound.Cycles {
+		t.Errorf("lazy bound %d not looser than modern %d",
+			reps[3].Bound.Cycles, reps[1].Bound.Cycles)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSoakBench(&buf, seed, ops, reps); err != nil {
+		t.Fatal(err)
+	}
+	var doc SoakBench
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("BENCH_soak.json does not round-trip: %v", err)
+	}
+	if doc.Seed != seed || doc.Ops != ops || len(doc.Configs) != len(cfgs) {
+		t.Errorf("document header {seed %d, ops %d, %d configs}", doc.Seed, doc.Ops, len(doc.Configs))
+	}
+
+	text := FormatSoakReport(reps)
+	for _, sc := range cfgs {
+		if !strings.Contains(text, sc.Name) {
+			t.Errorf("formatted report missing configuration %q", sc.Name)
+		}
+	}
+}
