@@ -20,12 +20,23 @@
 // -bench-out writes the full before/after configuration matrix as a
 // BENCH_soak.json artifact.
 //
+// With -probe, kzm-sim becomes the adversarial worst-case prober: a
+// directed search primes caches, pipeline and replacement state
+// against each entry point's worst-case footprint and evolves
+// workload genomes (op kind, IRQ raise phase, queue depths, badge
+// mix, retype size, cap-decode depth) to maximize observed latency,
+// then reports per-entry observed/bound tightness ratios across the
+// preemption × pinning matrix. -tightness-out writes the matrix as a
+// BENCH_tightness.json artifact.
+//
 // Usage:
 //
 //	kzm-sim [-variant modern|original] [-waiters N] [-period CYCLES]
 //	        [-trace out.json] [-verbose]
 //	kzm-sim -soak <ops|duration> [-seed N] [-pinned] [-soak-workers N]
 //	        [-serve :9090] [-bench-out BENCH_soak.json]
+//	kzm-sim -probe [-probe-budget N] [-seed N]
+//	        [-tightness-out BENCH_tightness.json]
 package main
 
 import (
@@ -61,10 +72,18 @@ func main() {
 	soakWorkers := flag.Int("soak-workers", 2, "parallel kernel instances per soak")
 	serveAddr := flag.String("serve", "", "serve /metrics and /snapshot.json on this address after the soak")
 	benchOut := flag.String("bench-out", "", "write the soak matrix as a BENCH_soak.json artifact to this file")
+	probeMode := flag.Bool("probe", false, "run the adversarial worst-case probe over the preemption × pinning matrix")
+	probeBudget := flag.Int("probe-budget", 160, "per-configuration probe evaluation budget")
+	tightnessOut := flag.String("tightness-out", "BENCH_tightness.json", "write the probe matrix as a BENCH_tightness.json artifact to this file (with -probe; empty disables)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *probeMode {
+		runProbe(ctx, *seed, *probeBudget, *tightnessOut)
+		return
+	}
 
 	if *soakSpec != "" || *benchOut != "" {
 		runSoak(ctx, *soakSpec, *variantName, *seed, *pinned, *soakWorkers, *serveAddr, *benchOut)
@@ -267,6 +286,38 @@ func runSoak(ctx context.Context, spec, variantName string, seed uint64, pinned 
 	if serveAddr != "" {
 		serveSnapshot(ctx, serveAddr, rep)
 	}
+}
+
+// runProbe is the adversarial-probe mode: the directed search over
+// the full preemption × pinning matrix, a tightness table on stdout
+// and optionally the BENCH_tightness.json artifact.
+func runProbe(ctx context.Context, seed uint64, budget int, out string) {
+	reps, err := verikern.TightnessReport(ctx, seed, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(verikern.FormatTightnessReport(reps))
+	var violations uint64
+	for _, r := range reps {
+		violations += r.Violations
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := verikern.WriteTightnessBench(f, seed, budget, reps); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d-config tightness matrix to %s\n", len(reps), out)
+	}
+	if violations != 0 {
+		log.Fatalf("SOUNDNESS VIOLATION: %d observations exceeded their computed bound", violations)
+	}
+	fmt.Println("soundness: every observed maximum within its computed bound")
 }
 
 // parseSoakSpec interprets -soak's argument: a bare integer is an op

@@ -14,6 +14,7 @@ import (
 	"verikern/internal/machine"
 	"verikern/internal/measure"
 	"verikern/internal/obs"
+	"verikern/internal/probe"
 	"verikern/internal/soak"
 	"verikern/internal/wcet"
 )
@@ -691,6 +692,100 @@ func WriteSoakBench(w io.Writer, seed, ops uint64, reps []*soak.Report) error {
 	for _, r := range reps {
 		doc.Configs = append(doc.Configs, r.Snapshot)
 	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// --- Adversarial probe (directed worst-case search) ---
+
+// ProbeConfig names one configuration of the probe matrix.
+type ProbeConfig struct {
+	Name string
+	// Kernel is the functional configuration under probe.
+	Kernel KernelConfig
+	// Pinned selects the way-pinned image for both the analysis and
+	// the measurement machine.
+	Pinned bool
+}
+
+// ProbeConfigs is the bound-tightness sweep: the modernised kernel
+// structures across the full preemption × pinning matrix. Where the
+// soak matrix contrasts kernel generations, the probe matrix stresses
+// one generation's analysis from every side the bound composition has
+// — each cell's observed maximum is pushed toward its own bound.
+func ProbeConfigs() []ProbeConfig {
+	modern := kernel.Modern()
+	modern.CheckInvariants = false // O(objects) per preemption point
+	noPre := modern
+	noPre.PreemptionPoints = false
+	return []ProbeConfig{
+		{Name: "benno+preempt+pinned", Kernel: modern, Pinned: true},
+		{Name: "benno+preempt", Kernel: modern},
+		{Name: "benno+nopreempt+pinned", Kernel: noPre, Pinned: true},
+		{Name: "benno+nopreempt", Kernel: noPre},
+	}
+}
+
+// TightnessReport runs the directed probe over every matrix
+// configuration with the given seed and per-configuration evaluation
+// budget, sharing the process-wide analysis cache so bounds are
+// computed once. A returned report with Violations != 0 means an
+// observation exceeded its computed bound — an analysis soundness bug;
+// the acceptance tests gate on it.
+func TightnessReport(ctx context.Context, seed uint64, budget int) ([]*probe.Report, error) {
+	var reps []*probe.Report
+	for _, pc := range ProbeConfigs() {
+		rep, err := probe.Run(ctx, probe.Config{
+			Label:   pc.Name,
+			Seed:    seed,
+			Budget:  budget,
+			Kernel:  pc.Kernel,
+			Pinned:  pc.Pinned,
+			Cache:   analysisCache,
+			Metrics: pipelineMetrics,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("probe %s: %w", pc.Name, err)
+		}
+		reps = append(reps, rep)
+	}
+	return reps, nil
+}
+
+// FormatTightnessReport renders the probe reports as the human table
+// cmd/kzm-sim prints: per configuration, one row per entry with the
+// observed maximum, the computed bound and the tightness ratio.
+func FormatTightnessReport(reps []*probe.Report) string {
+	var b strings.Builder
+	for i, r := range reps {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "probe %s: seed=%d budget=%d violations=%d captures=%d\n",
+			r.Label, r.Seed, r.Budget, r.Violations, len(r.Captures))
+		fmt.Fprintf(&b, "  %-18s %12s %14s %10s %6s  %s\n",
+			"entry", "observed", "bound", "tightness", "evals", "best")
+		for _, e := range r.Entries {
+			fmt.Fprintf(&b, "  %-18s %12d %14d %10.4f %6d  %s\n",
+				e.Name, e.ObservedMax, e.BoundCycles, e.Tightness, e.Evals, e.Best)
+		}
+	}
+	return b.String()
+}
+
+// TightnessBench is the BENCH_tightness.json document: one probe
+// report per configuration, byte-stable for a fixed seed and budget.
+type TightnessBench struct {
+	Seed    uint64          `json:"seed"`
+	Budget  int             `json:"budget"`
+	Configs []*probe.Report `json:"configs"`
+}
+
+// WriteTightnessBench serialises the probe reports as the
+// BENCH_tightness.json artifact.
+func WriteTightnessBench(w io.Writer, seed uint64, budget int, reps []*probe.Report) error {
+	doc := TightnessBench{Seed: seed, Budget: budget, Configs: reps}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(doc)

@@ -312,6 +312,52 @@ func (c *Cache) Pollute(seed uint32) {
 	}
 }
 
+// DirtyFootprint fills the non-pinned ways of exactly the sets that the
+// given addresses map to with distinct dirty conflicting lines, leaving
+// every other set untouched. It is the targeted counterpart of Pollute:
+// an adversary that knows a victim's footprint evicts precisely the
+// lines the victim will re-fetch, without paying to dirty sets the
+// victim never visits. Tags are derived from seed and never collide
+// with the footprint's own tags, so every listed address starts evicted
+// and every eviction writes back.
+func (c *Cache) DirtyFootprint(addrs []uint32, seed uint32) {
+	tagBase := 0x40000 | (seed & 0xFFFF)
+	for _, a := range addrs {
+		set := c.Set(a)
+		own := c.Tag(a)
+		base := set * c.cfg.Ways
+		for w := c.cfg.LockedWays; w < c.cfg.Ways; w++ {
+			tag := tagBase + uint32(w)<<20
+			if tag == own {
+				tag ^= 1 << 19
+			}
+			c.lines[base+w] = line{valid: true, dirty: true, tag: tag}
+		}
+	}
+}
+
+// AdvanceReplacement clocks the replacement state n steps without
+// touching cache contents: the round-robin victim pointer of every set
+// advances (skipping locked ways), and the pseudo-random LFSR shifts.
+// Worst-case search uses it to sweep the victim-selection phase a run
+// starts from — a dimension Pollute alone cannot reach, since it leaves
+// replacement state wherever the previous run parked it.
+func (c *Cache) AdvanceReplacement(n int) {
+	if n <= 0 {
+		return
+	}
+	lo := c.cfg.LockedWays
+	span := c.cfg.Ways - lo
+	for s := range c.rrNext {
+		v := c.rrNext[s] - lo
+		c.rrNext[s] = lo + (v+n)%span
+	}
+	for i := 0; i < n; i++ {
+		bit := ((c.lfsr >> 0) ^ (c.lfsr >> 2) ^ (c.lfsr >> 3) ^ (c.lfsr >> 5)) & 1
+		c.lfsr = (c.lfsr >> 1) | (bit << 15)
+	}
+}
+
 // Stats reports accumulated hit/miss/writeback counters.
 func (c *Cache) Stats() (hits, misses, writebacks uint64) {
 	return c.hits, c.misses, c.writebacks

@@ -1,0 +1,43 @@
+package kimage
+
+// TraceFootprint returns the address footprint of executing a block
+// trace in order: every instruction-fetch address and every data
+// address, each deduplicated but listed in first-touch order. Strided
+// references are unrolled with the same per-instruction execution
+// indices the machine simulator uses, so the footprint is exactly the
+// set of addresses a replay of the trace touches.
+//
+// Adversarial priming consumes the footprint to evict or dirty
+// precisely the cache sets a worst-case path will re-fetch
+// (cache.DirtyFootprint), rather than polluting blindly.
+func TraceFootprint(trace []*Block) (code, data []uint32) {
+	seenCode := make(map[uint32]bool)
+	seenData := make(map[uint32]bool)
+	execIndex := make(map[*Block][]uint64)
+	for _, b := range trace {
+		idx := execIndex[b]
+		if idx == nil {
+			idx = make([]uint64, len(b.Instrs))
+			execIndex[b] = idx
+		}
+		for i := range b.Instrs {
+			fa := b.InstrAddr(i)
+			if !seenCode[fa] {
+				seenCode[fa] = true
+				code = append(code, fa)
+			}
+			ins := &b.Instrs[i]
+			if ins.Data.Base == 0 {
+				continue
+			}
+			n := idx[i]
+			idx[i] = n + 1
+			da := ins.Data.Addr(n)
+			if !seenData[da] {
+				seenData[da] = true
+				data = append(data, da)
+			}
+		}
+	}
+	return code, data
+}

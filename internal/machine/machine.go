@@ -133,6 +133,63 @@ func (m *Machine) Pollute(seed uint32) {
 	m.bp.Reset()
 }
 
+// PrimeSpec parameterises one adversarial machine-priming candidate —
+// the state-space the directed worst-case probe searches over before
+// raising its measurement run.
+type PrimeSpec struct {
+	// Seed selects the conflicting tag space for pollution.
+	Seed uint32
+	// Footprint, when set, dirties exactly the sets of the target
+	// trace's footprint (after a full pollution pass) so the victim's
+	// own lines are evicted by freshly conflicting dirty lines.
+	Footprint bool
+	// ReplacementAdvance clocks every cache's replacement state this
+	// many steps, sweeping the victim-selection phase.
+	ReplacementAdvance int
+	// Mistrain saturates the branch predictor against the trace's
+	// actual directions, so every predicted branch mispredicts.
+	Mistrain bool
+}
+
+// Prime places the machine in an adversarial state for a subsequent
+// Run(trace): full cache pollution, optional footprint-targeted
+// dirtying, replacement-state phase advance, and predictor mistraining.
+// Every priming dimension is bounded by the static analyser's
+// assumptions (all unclassifiable accesses miss with write-back; all
+// branches mispredict when prediction is enabled), so no primed run can
+// exceed a computed bound — the probe's soundness invariant.
+func (m *Machine) Prime(trace []*kimage.Block, spec PrimeSpec) {
+	m.Pollute(spec.Seed)
+	if spec.Footprint {
+		code, data := kimage.TraceFootprint(trace)
+		m.l1i.DirtyFootprint(code, spec.Seed^0x3333)
+		m.l1d.DirtyFootprint(data, spec.Seed^0x6666)
+		if m.l2 != nil {
+			m.l2.DirtyFootprint(code, spec.Seed^0x9999)
+			m.l2.DirtyFootprint(data, spec.Seed^0xCCCC)
+		}
+	}
+	if spec.ReplacementAdvance > 0 {
+		m.l1i.AdvanceReplacement(spec.ReplacementAdvance)
+		m.l1d.AdvanceReplacement(spec.ReplacementAdvance)
+		if m.l2 != nil {
+			m.l2.AdvanceReplacement(spec.ReplacementAdvance)
+		}
+	}
+	if spec.Mistrain {
+		for i, b := range trace {
+			if !b.EndsInBranch() {
+				continue
+			}
+			last := b.Addr
+			if n := len(b.Instrs); n > 0 {
+				last = b.InstrAddr(n - 1)
+			}
+			m.bp.Mistrain(last, traceTaken(trace, i))
+		}
+	}
+}
+
 // InvalidateCaches drops all cache contents (except pinned lines).
 func (m *Machine) InvalidateCaches() {
 	m.l1i.InvalidateAll()
@@ -230,21 +287,28 @@ func (m *Machine) ExecBlock(b *kimage.Block, taken bool) uint64 {
 	return cycles
 }
 
+// traceTaken reports the direction of block i's terminating branch
+// within a trace: not-taken only when control fell through to the first
+// successor without an intervening call.
+func traceTaken(trace []*kimage.Block, i int) bool {
+	b := trace[i]
+	if i+1 < len(trace) && len(b.Succs) > 0 && trace[i+1].Name == b.Succs[0] && b.Call == "" {
+		return false
+	}
+	return true
+}
+
 // Run executes a trace of blocks in order, returning total cycles. The
 // per-trace execution indices are reset first; cache and predictor
-// state persists from previous runs (call Pollute or InvalidateCaches
-// to control it).
+// state persists from previous runs (call Pollute, Prime or
+// InvalidateCaches to control it).
 func (m *Machine) Run(trace []*kimage.Block) uint64 {
 	m.tracer.SetOp(obs.OpReplay)
 	defer m.tracer.SetOp(obs.OpUser)
 	m.ResetTrace()
 	var total uint64
 	for i, b := range trace {
-		taken := true
-		if i+1 < len(trace) && len(b.Succs) > 0 && trace[i+1].Name == b.Succs[0] && b.Call == "" {
-			taken = false // fell through to the first successor
-		}
-		total += m.ExecBlock(b, taken)
+		total += m.ExecBlock(b, traceTaken(trace, i))
 	}
 	m.tracer.Emit(obs.KindReplay, m.counters.Cycles, total, uint64(len(trace)))
 	return total

@@ -68,6 +68,25 @@ func (p *Predictor) Branch(addr uint32, taken bool) uint64 {
 	return arch.BranchCostMispredict
 }
 
+// Mistrain saturates the counter for the branch at addr in the
+// direction opposite to `taken`, so the next Branch(addr, taken)
+// mispredicts and pays the full 7-cycle penalty. Adversarial priming
+// uses it to place the predictor in its worst state for a known path;
+// the static analyser already assumes every branch mispredicts when the
+// predictor is enabled (WorstBranchCost), so a mistrained run can never
+// exceed the computed bound. No-op when prediction is disabled.
+func (p *Predictor) Mistrain(addr uint32, taken bool) {
+	if !p.enabled {
+		return
+	}
+	idx := (addr >> 2) & p.mask
+	if taken {
+		p.counters[idx] = 0 // strongly not-taken: a taken branch mispredicts
+	} else {
+		p.counters[idx] = 3 // strongly taken: a not-taken branch mispredicts
+	}
+}
+
 // Stats reports correct and incorrect predictions (zero when disabled).
 func (p *Predictor) Stats() (correct, wrong uint64) { return p.hits, p.misses }
 

@@ -1,0 +1,46 @@
+package soak
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"verikern/internal/kernel"
+	"verikern/internal/sched"
+)
+
+// TestSoakSnapshotDeterministic is the determinism regression: for a
+// fixed seed and op budget the merged Snapshot must serialize to
+// byte-identical JSON run over run, for every worker count. The merge
+// walks runners in worker-index order — not completion order — so
+// goroutine scheduling must never leak into the artifact.
+func TestSoakSnapshotDeterministic(t *testing.T) {
+	ctx := context.Background()
+	snapJSON := func(workers int) []byte {
+		rep, err := Run(ctx, Config{
+			Label:   "determinism",
+			Seed:    1234,
+			Ops:     600,
+			Workers: workers,
+			Kernel:  kernel.Config{Scheduler: sched.Benno, PreemptionPoints: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := rep.Snapshot.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	for workers := 1; workers <= 3; workers++ {
+		a, b := snapJSON(workers), snapJSON(workers)
+		if len(a) == 0 {
+			t.Fatalf("workers=%d: empty snapshot", workers)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("workers=%d: snapshot JSON differs between identical runs\nfirst:  %s\nsecond: %s",
+				workers, a, b)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package soak
+
+import (
+	"testing"
+
+	"verikern/internal/kernel"
+	"verikern/internal/sched"
+)
+
+// TestPinnedUnpinnedSameRetirement is the differential satellite: L1
+// way-pinning is a bound-side (and measurement-machine) concern only —
+// the functional kernel must retire the exact same event sequence for
+// the same seeded program whether or not the configuration selects the
+// pinned bound. Cycle timestamps are allowed to differ (and bound
+// margins certainly do), so events compare without TS.
+func TestPinnedUnpinnedSameRetirement(t *testing.T) {
+	const ops = 300
+	run := func(pinned bool) *Runner {
+		r, err := NewRunner(Config{
+			Label:   "diff",
+			Seed:    99,
+			Kernel:  kernel.Config{Scheduler: sched.Benno, PreemptionPoints: true},
+			Pinned:  pinned,
+			RingCap: 1 << 17,
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Step(ops); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	up, p := run(false), run(true)
+
+	if up.Ops() != p.Ops() {
+		t.Fatalf("op counts diverged: unpinned %d, pinned %d", up.Ops(), p.Ops())
+	}
+	ue := up.Tracer().LastEvents(1 << 17)
+	pe := p.Tracer().LastEvents(1 << 17)
+	if len(ue) == 0 {
+		t.Fatal("no events retired")
+	}
+	if len(ue) != len(pe) {
+		t.Fatalf("event counts diverged: unpinned %d, pinned %d", len(ue), len(pe))
+	}
+	for i := range ue {
+		a, b := ue[i], pe[i]
+		if a.Kind != b.Kind || a.Op != b.Op || a.Arg1 != b.Arg1 || a.Arg2 != b.Arg2 {
+			t.Fatalf("event %d diverged: unpinned {%v %v %d %d}, pinned {%v %v %d %d}",
+				i, a.Kind, a.Op, a.Arg1, a.Arg2, b.Kind, b.Op, b.Arg1, b.Arg2)
+		}
+	}
+	// The interrupt-response samples themselves retire identically
+	// too — pinning changes what bound they are judged against, not
+	// what the kernel does.
+	ul, pl := up.Kernel().Latencies(), p.Kernel().Latencies()
+	if len(ul) != len(pl) {
+		t.Fatalf("sample counts diverged: unpinned %d, pinned %d", len(ul), len(pl))
+	}
+}

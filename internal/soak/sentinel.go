@@ -7,8 +7,10 @@ import "verikern/internal/obs"
 type Capture struct {
 	// Sample is the offending interrupt-response observation.
 	Sample obs.Sample
-	// Reason is "violation" (sample exceeded the bound) or "near-max"
-	// (new observed maximum within the margin of the bound).
+	// Reason is "violation" (sample exceeded the bound), "near-max"
+	// (new observed maximum within the margin of the bound), or
+	// "new-max" (any new observed maximum, when Config.CaptureNewMax
+	// arms the probe's capture mode).
 	Reason string
 	// Worker is the index of the worker whose kernel produced it.
 	Worker int
@@ -27,11 +29,12 @@ type Capture struct {
 // outside the tracer lock, which is what makes the LastEvents
 // call-back safe.
 type sentinel struct {
-	tracer       *obs.Tracer
-	bound        uint64
-	margin       float64 // percent
-	flightEvents int
-	maxCaptures  int
+	tracer        *obs.Tracer
+	bound         uint64
+	margin        float64 // percent
+	flightEvents  int
+	maxCaptures   int
+	captureNewMax bool
 
 	violations uint64
 	nearMax    uint64
@@ -39,18 +42,20 @@ type sentinel struct {
 	captures   []Capture
 }
 
-func newSentinel(tr *obs.Tracer, bound uint64, marginPercent float64, flightEvents, maxCaptures int) *sentinel {
+func newSentinel(tr *obs.Tracer, bound uint64, marginPercent float64, flightEvents, maxCaptures int, captureNewMax bool) *sentinel {
 	return &sentinel{
-		tracer:       tr,
-		bound:        bound,
-		margin:       marginPercent,
-		flightEvents: flightEvents,
-		maxCaptures:  maxCaptures,
+		tracer:        tr,
+		bound:         bound,
+		margin:        marginPercent,
+		flightEvents:  flightEvents,
+		maxCaptures:   maxCaptures,
+		captureNewMax: captureNewMax,
 	}
 }
 
 // sample is the tracer hook. With no bound configured the sentinel
-// only tracks the observed maximum.
+// only tracks the observed maximum (and, in capture-new-max mode,
+// still dumps the flight recorder on each new maximum).
 func (s *sentinel) sample(sm obs.Sample) {
 	reason := ""
 	if s.bound > 0 {
@@ -63,6 +68,9 @@ func (s *sentinel) sample(sm obs.Sample) {
 			s.nearMax++
 			reason = "near-max"
 		}
+	}
+	if reason == "" && s.captureNewMax && sm.Latency > s.maxSeen {
+		reason = "new-max"
 	}
 	if sm.Latency > s.maxSeen {
 		s.maxSeen = sm.Latency

@@ -69,6 +69,12 @@ type Config struct {
 	// degrade to non-allocating churn instead of failing. Default
 	// 8 MiB.
 	AllocReserveBytes uint32
+	// CaptureNewMax arms the flight recorder on every new observed
+	// maximum latency, regardless of the bound margin — the directed
+	// probe's mode, where each fitness improvement is evidence worth
+	// keeping. Off by default (the passive soak captures only
+	// violations and near-bound maxima).
+	CaptureNewMax bool
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +106,105 @@ func (c Config) withDefaults() Config {
 		c.AllocReserveBytes = 8 << 20
 	}
 	return c
+}
+
+// OpKind names one operation driver of the workload vocabulary. The
+// passive soak picks kinds by weighted random draw (pickOp); the
+// directed probe drives chosen kinds deliberately via RunOp, with
+// Params pinning the knobs the soak would randomize.
+type OpKind int
+
+// The workload vocabulary.
+const (
+	// OpIPC is a send/receive rendezvous on the persistent endpoint.
+	OpIPC OpKind = iota
+	// OpReplyRecv exercises the combined reply-and-receive path.
+	OpReplyRecv
+	// OpEndpointChurn queues badged waiters, revokes the badge and
+	// deletes the endpoint — the paper's adversarial deletion scenario.
+	OpEndpointChurn
+	// OpRetype creates frames through the chunked preemptible clear.
+	OpRetype
+	// OpVSpace builds and tears down an address space.
+	OpVSpace
+	// OpCapOps drives the constant-time capability operations plus a
+	// subtree revocation.
+	OpCapOps
+	// OpThreadCtl drives TCB invocations on a pool thread.
+	OpThreadCtl
+	// OpSignal drives the notification and WaitIRQ paths.
+	OpSignal
+	// OpYield is a bare scheduling pass.
+	OpYield
+	// OpIdle burns an idle window.
+	OpIdle
+	// OpDeepIPC sends through an adversarially deep capability space —
+	// a radix-1 CNode chain of Params.DecodeDepth levels (Fig. 7), so
+	// the decode loop runs once per address bit. Not part of the
+	// random rotation; the directed probe drives it via RunOp.
+	OpDeepIPC
+	// NumOpKinds bounds the enum.
+	NumOpKinds
+)
+
+// String returns the op-kind name.
+func (k OpKind) String() string {
+	switch k {
+	case OpIPC:
+		return "ipc"
+	case OpReplyRecv:
+		return "reply-recv"
+	case OpEndpointChurn:
+		return "endpoint-churn"
+	case OpRetype:
+		return "retype"
+	case OpVSpace:
+		return "vspace"
+	case OpCapOps:
+		return "cap-ops"
+	case OpThreadCtl:
+		return "thread-ctl"
+	case OpSignal:
+		return "signal"
+	case OpYield:
+		return "yield"
+	case OpIdle:
+		return "idle"
+	case OpDeepIPC:
+		return "deep-ipc"
+	default:
+		return "unknown"
+	}
+}
+
+// Params pins workload knobs the soak otherwise randomizes. A zero
+// value for any field keeps the soak's default random draw (and its
+// exact rng stream), so the passive soak is Params{} throughout; the
+// directed probe sets fields from its search genome.
+type Params struct {
+	// MsgLen pins the IPC message length (OpIPC). 0 draws 0–119.
+	MsgLen int
+	// Waiters pins the endpoint queue depth (OpEndpointChurn). 0 draws
+	// 2–6. Depth is effectively capped by PoolThreads: each waiter
+	// blocks one pool thread.
+	Waiters int
+	// Badges spreads the churn queue across this many distinct badges
+	// (OpEndpointChurn), each revoked in turn. 0 or 1 mints a single
+	// badge, as the soak does.
+	Badges int
+	// RetypeBits pins the frame size for OpRetype. 0 draws 12–16
+	// (4–64 KiB).
+	RetypeBits uint8
+	// RetypeCount pins how many frames one OpRetype creates (the
+	// clear-loop length and chunk phase). 0 means 1.
+	RetypeCount int
+	// TimerPhase pins armTimer's raise phase in cycles from "now".
+	// 0 draws 100–20,099.
+	TimerPhase uint64
+	// DecodeDepth pins the cap-decode chain length for OpDeepIPC
+	// (1–32 radix-1 CNode levels). 0 means 11, the paper's §6.1
+	// worst-case decode count.
+	DecodeDepth int
 }
 
 // subSeed derives worker w's private seed from the campaign seed with
@@ -134,7 +239,24 @@ type Runner struct {
 	ntfnAddr uint32 // persistent notification
 	irqAddr  uint32 // IRQ-handler notification cap
 
-	ops uint64
+	// Deep-decode machinery, built lazily on the first OpDeepIPC so
+	// the default rng stream and watermark are untouched by passive
+	// soaks: a dedicated sender thread plus one cached radix-1 CNode
+	// chain per requested depth, all leading to the persistent
+	// endpoint.
+	deep   *kobj.TCB
+	chains map[int]deepChain
+
+	params Params
+	ops    uint64
+}
+
+// deepChain is one cached adversarial cap space: a radix-1 CNode chain
+// whose decode traverses `levels` CNodes to reach the persistent
+// endpoint.
+type deepChain struct {
+	root kobj.Cap
+	addr uint32
 }
 
 // NewRunner boots a kernel for worker `index` of the configuration and
@@ -157,7 +279,7 @@ func NewRunner(cfg Config, index int) (*Runner, error) {
 		tracer: tr,
 		rng:    rand.New(rand.NewSource(subSeed(cfg.Seed, index))),
 	}
-	r.sent = newSentinel(tr, cfg.BoundCycles, cfg.MarginPercent, cfg.FlightEvents, cfg.MaxCaptures)
+	r.sent = newSentinel(tr, cfg.BoundCycles, cfg.MarginPercent, cfg.FlightEvents, cfg.MaxCaptures, cfg.CaptureNewMax)
 	tr.SetSampleHook(r.sent.sample)
 
 	if r.adv, err = k.CreateThread(fmt.Sprintf("soak%d/adv", index), 128); err != nil {
@@ -201,6 +323,42 @@ func (r *Runner) Tracer() *obs.Tracer { return r.tracer }
 // Ops returns how many workload operations have been executed.
 func (r *Runner) Ops() uint64 { return r.ops }
 
+// SetParams pins workload knobs for subsequent operations; a zero
+// field keeps the default random draw. The directed probe swaps Params
+// per candidate between RunOp calls.
+func (r *Runner) SetParams(p Params) { r.params = p }
+
+// Params returns the currently pinned workload knobs.
+func (r *Runner) Params() Params { return r.params }
+
+// MaxObserved returns the worst interrupt-response latency the
+// sentinel has seen so far — the probe's fitness signal.
+func (r *Runner) MaxObserved() uint64 { return r.sent.maxSeen }
+
+// SentinelStatus returns the live bound-checker's standing verdict.
+func (r *Runner) SentinelStatus() obs.BoundStatus { return r.sent.status() }
+
+// Captures returns the flight-recorder dumps taken so far (worker
+// index not yet stamped; Report.Captures carries it).
+func (r *Runner) Captures() []Capture { return r.sent.captures }
+
+// ArmTimer programs the one-shot timer exactly phase cycles into the
+// future, bypassing the randomized draw — the probe's direct control
+// over where in an operation the IRQ latches.
+func (r *Runner) ArmTimer(phase uint64) { r.k.SetTimer(r.k.Now() + phase) }
+
+// Driver returns the runner's driver thread — the invoker for probe-
+// issued kernel calls outside the op vocabulary (e.g. suspending pool
+// threads to thin the ready queue).
+func (r *Runner) Driver() *kobj.TCB { return r.adv }
+
+// Pool returns the reusable worker threads backing the op vocabulary.
+func (r *Runner) Pool() []*kobj.TCB { return r.pool }
+
+// EndpointAddr returns the persistent rendezvous endpoint's cap
+// address in the driver's cap space.
+func (r *Runner) EndpointAddr() uint32 { return r.epAddr }
+
 // freeThread returns a runnable pool thread, preferring a rotating
 // start point so work spreads across the pool. Threads left blocked by
 // an in-flight wait are skipped.
@@ -220,10 +378,13 @@ func (r *Runner) freeThread() (*kobj.TCB, error) {
 // future, so the IRQ latches at an unpredictable point of the next
 // operation — the scatter that populates every per-source histogram.
 func (r *Runner) armTimer() {
-	// Phases span sub-entry (latches immediately at the next kernel
-	// look) to beyond a long walk (latches during a later op or an
-	// idle window).
-	phase := uint64(100 + r.rng.Intn(20_000))
+	phase := r.params.TimerPhase
+	if phase == 0 {
+		// Phases span sub-entry (latches immediately at the next
+		// kernel look) to beyond a long walk (latches during a later
+		// op or an idle window).
+		phase = uint64(100 + r.rng.Intn(20_000))
+	}
 	r.k.SetTimer(r.k.Now() + phase)
 }
 
@@ -252,30 +413,65 @@ func (r *Runner) Step(n int) error {
 }
 
 // oneOp picks and runs one weighted random operation.
-func (r *Runner) oneOp() error {
+func (r *Runner) oneOp() error { return r.RunOp(r.pickOp()) }
+
+// pickOp draws the next operation kind with the soak's weights.
+func (r *Runner) pickOp() OpKind {
 	switch p := r.rng.Intn(100); {
 	case p < 25:
-		return r.opIPC()
+		return OpIPC
 	case p < 35:
-		return r.opReplyRecv()
+		return OpReplyRecv
 	case p < 50:
-		return r.opEndpointChurn()
+		return OpEndpointChurn
 	case p < 60:
-		return r.opRetype()
+		return OpRetype
 	case p < 65:
-		return r.opVSpace()
+		return OpVSpace
 	case p < 72:
-		return r.opCapOps()
+		return OpCapOps
 	case p < 79:
-		return r.opThreadCtl()
+		return OpThreadCtl
 	case p < 89:
-		return r.opSignal()
+		return OpSignal
 	case p < 94:
+		return OpYield
+	default:
+		return OpIdle
+	}
+}
+
+// RunOp executes one operation of the given kind under the current
+// Params. It is the mutation vocabulary of the directed probe: the
+// probe selects kinds and knobs deliberately where Step draws them.
+func (r *Runner) RunOp(kind OpKind) error {
+	switch kind {
+	case OpIPC:
+		return r.opIPC()
+	case OpReplyRecv:
+		return r.opReplyRecv()
+	case OpEndpointChurn:
+		return r.opEndpointChurn()
+	case OpRetype:
+		return r.opRetype()
+	case OpVSpace:
+		return r.opVSpace()
+	case OpCapOps:
+		return r.opCapOps()
+	case OpThreadCtl:
+		return r.opThreadCtl()
+	case OpSignal:
+		return r.opSignal()
+	case OpYield:
 		r.k.Yield()
 		return nil
-	default:
+	case OpIdle:
 		r.k.Idle(uint64(500 + r.rng.Intn(5_000)))
 		return nil
+	case OpDeepIPC:
+		return r.opDeepIPC()
+	default:
+		return fmt.Errorf("soak: unknown op kind %d", kind)
 	}
 }
 
@@ -287,8 +483,92 @@ func (r *Runner) opIPC() error {
 	if err != nil {
 		return err
 	}
-	msgLen := r.rng.Intn(120)
+	msgLen := r.params.MsgLen
+	if msgLen == 0 {
+		msgLen = r.rng.Intn(120)
+	}
 	if err := r.k.Send(w, r.epAddr, msgLen, nil, false); err != nil {
+		return err
+	}
+	return r.k.Recv(r.adv, r.epAddr)
+}
+
+// ensureDeep builds (once per depth) the radix-1 CNode chain of
+// `levels` levels whose leaf is a cap to the persistent endpoint, plus
+// the dedicated sender thread, mirroring the Fig. 7 adversarial cap
+// space. CNodes come straight off the object manager — they carry no
+// caps of their own, so the cap-derivation bookkeeping stays clean.
+func (r *Runner) ensureDeep(levels int) error {
+	if r.deep == nil {
+		d, err := r.k.CreateThread(fmt.Sprintf("soak%d/deep", r.index), 72)
+		if err != nil {
+			return err
+		}
+		r.k.StartThread(d)
+		r.deep = d
+		r.chains = make(map[int]deepChain)
+	}
+	if _, ok := r.chains[levels]; ok {
+		return nil
+	}
+	res, err := kobj.Decode(r.adv.CSpaceRoot, r.epAddr)
+	if err != nil {
+		return err
+	}
+	leaf := res.Slot.Cap
+	next := leaf
+	mgr := r.k.Objects()
+	for l := 0; l < levels; l++ {
+		guard := uint8(0)
+		if l == levels-1 {
+			// The outermost CNode absorbs the remaining address
+			// bits in its guard so the address is exactly 32 bits.
+			guard = uint8(32 - levels)
+		}
+		cnObjs, err := mgr.Retype(r.k.RootUntyped(), kobj.TypeCNode, 1, 1)
+		if err != nil {
+			return err
+		}
+		cn := cnObjs[0].(*kobj.CNode)
+		cn.Name = fmt.Sprintf("soak%d/deep%d-l%d", r.index, levels, levels-l)
+		cn.GuardBits = guard
+		cn.Slots[1].Cap = next
+		next = kobj.Cap{Type: kobj.CapCNode, Obj: cn, Rights: kobj.RightsAll}
+	}
+	// Address: guard zeros, then bit 1 at every level.
+	var addr uint32
+	for l := 0; l < levels; l++ {
+		addr = addr<<1 | 1
+	}
+	r.chains[levels] = deepChain{root: next, addr: addr}
+	return nil
+}
+
+// opDeepIPC sends through the deep chain — the decode loop runs once
+// per level, so a send pays up to 32 decode steps before the message
+// queues — then the driver drains the endpoint through its ordinary
+// one-level cap space.
+func (r *Runner) opDeepIPC() error {
+	levels := r.params.DecodeDepth
+	if levels <= 0 {
+		levels = 11 // the paper's §6.1 worst-case decode count
+	}
+	if levels > 32 {
+		levels = 32
+	}
+	if _, built := r.chains[levels]; !built && !r.canAlloc(uint32(levels)<<6) {
+		return r.opIPC()
+	}
+	if err := r.ensureDeep(levels); err != nil {
+		return err
+	}
+	ch := r.chains[levels]
+	r.deep.CSpaceRoot = ch.root
+	msgLen := r.params.MsgLen
+	if msgLen == 0 {
+		msgLen = r.rng.Intn(120)
+	}
+	if err := r.k.Send(r.deep, ch.addr, msgLen, nil, false); err != nil {
 		return err
 	}
 	return r.k.Recv(r.adv, r.epAddr)
@@ -334,27 +614,47 @@ func (r *Runner) opEndpointChurn() error {
 		return err
 	}
 	ep := eps[0]
-	badge := uint32(1 + r.rng.Intn(1<<16))
-	badged, err := r.k.MintBadgedCap(r.adv, ep, badge)
-	if err != nil {
-		return err
+	// The badge mix: one badge by default, Params.Badges distinct
+	// badges under the probe, waiters distributed round-robin so a
+	// revocation walks a queue interleaved with other-badge waiters.
+	nb := r.params.Badges
+	if nb < 1 {
+		nb = 1
 	}
-	waiters := 2 + r.rng.Intn(5)
+	badges := make([]uint32, nb)
+	badgedCaps := make([]uint32, nb)
+	badges[0] = uint32(1 + r.rng.Intn(1<<16))
+	for j := 1; j < nb; j++ {
+		badges[j] = badges[0] + uint32(j)
+	}
+	for j, bg := range badges {
+		c, err := r.k.MintBadgedCap(r.adv, ep, bg)
+		if err != nil {
+			return err
+		}
+		badgedCaps[j] = c
+	}
+	waiters := r.params.Waiters
+	if waiters == 0 {
+		waiters = 2 + r.rng.Intn(5)
+	}
 	for i := 0; i < waiters; i++ {
 		w, err := r.freeThread()
 		if err != nil {
 			return err
 		}
-		if err := r.k.Send(w, badged, 1, nil, false); err != nil {
+		if err := r.k.Send(w, badgedCaps[i%nb], 1, nil, false); err != nil {
 			return err
 		}
 	}
 	r.armTimer()
 	// Badge revocation deletes every derived cap carrying the badge
-	// (phase 1), including `badged` itself, then aborts the queued
-	// IPCs — no explicit cleanup of the minted cap is needed.
-	if err := r.k.RevokeBadge(r.adv, ep, badge); err != nil {
-		return err
+	// (phase 1), including the minted cap itself, then aborts the
+	// queued IPCs — no explicit cleanup of the minted caps is needed.
+	for _, bg := range badges {
+		if err := r.k.RevokeBadge(r.adv, ep, bg); err != nil {
+			return err
+		}
 	}
 	for i := 0; i < waiters; i++ {
 		w, err := r.freeThread()
@@ -369,18 +669,31 @@ func (r *Runner) opEndpointChurn() error {
 	return r.k.DeleteCap(r.adv, ep)
 }
 
-// opRetype creates one frame (4–64 KiB) — the chunked, preemptible
-// clear of §3.5 — then deletes its cap to recycle the slot.
+// opRetype creates frames (4–64 KiB by default, Params-pinnable) — the
+// chunked, preemptible clear of §3.5 — then deletes the caps to
+// recycle the slots.
 func (r *Runner) opRetype() error {
-	bits := uint8(12 + r.rng.Intn(5)) // 4 KiB .. 64 KiB
-	if !r.canAlloc(1 << bits) {
+	bits := r.params.RetypeBits
+	if bits == 0 {
+		bits = uint8(12 + r.rng.Intn(5)) // 4 KiB .. 64 KiB
+	}
+	count := r.params.RetypeCount
+	if count < 1 {
+		count = 1
+	}
+	if !r.canAlloc(uint32(count) << bits) {
 		return r.opIPC()
 	}
-	frames, err := r.k.CreateObjects(r.adv, kobj.TypeFrame, bits, 1)
+	frames, err := r.k.CreateObjects(r.adv, kobj.TypeFrame, bits, count)
 	if err != nil {
 		return err
 	}
-	return r.k.DeleteCap(r.adv, frames[0])
+	for _, f := range frames {
+		if err := r.k.DeleteCap(r.adv, f); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // opVSpace builds and tears down an address space on the dedicated
