@@ -29,6 +29,14 @@
 // preemption × pinning matrix. -tightness-out writes the matrix as a
 // BENCH_tightness.json artifact.
 //
+// With -bench-sim, kzm-sim benchmarks the simulator itself: the same
+// warm interrupt-path replay workload timed on the naive and the
+// memoized engine across the four-image matrix, reporting replays/sec,
+// simulated cycles/sec, allocations per replay and memo hit rates.
+// The engines are differentially proven identical; a cycle
+// disagreement fails the benchmark. -bench-sim-out writes the result
+// as a BENCH_sim.json artifact.
+//
 // Usage:
 //
 //	kzm-sim [-variant modern|original] [-waiters N] [-period CYCLES]
@@ -37,6 +45,8 @@
 //	        [-serve :9090] [-bench-out BENCH_soak.json]
 //	kzm-sim -probe [-probe-budget N] [-seed N]
 //	        [-tightness-out BENCH_tightness.json]
+//	kzm-sim -bench-sim [-bench-sim-runs N] [-seed N]
+//	        [-bench-sim-out BENCH_sim.json]
 package main
 
 import (
@@ -75,10 +85,18 @@ func main() {
 	probeMode := flag.Bool("probe", false, "run the adversarial worst-case probe over the preemption × pinning matrix")
 	probeBudget := flag.Int("probe-budget", 160, "per-configuration probe evaluation budget")
 	tightnessOut := flag.String("tightness-out", "BENCH_tightness.json", "write the probe matrix as a BENCH_tightness.json artifact to this file (with -probe; empty disables)")
+	benchSim := flag.Bool("bench-sim", false, "benchmark the naive vs memoized simulator engine over the image matrix")
+	benchSimRuns := flag.Int("bench-sim-runs", verikern.DefaultSimBenchRuns, "timed warm replays per engine per configuration")
+	benchSimOut := flag.String("bench-sim-out", "BENCH_sim.json", "write the engine benchmark as a BENCH_sim.json artifact to this file (with -bench-sim; empty disables)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *benchSim {
+		runBenchSim(ctx, *seed, *benchSimRuns, *benchSimOut)
+		return
+	}
 
 	if *probeMode {
 		runProbe(ctx, *seed, *probeBudget, *tightnessOut)
@@ -318,6 +336,31 @@ func runProbe(ctx context.Context, seed uint64, budget int, out string) {
 		log.Fatalf("SOUNDNESS VIOLATION: %d observations exceeded their computed bound", violations)
 	}
 	fmt.Println("soundness: every observed maximum within its computed bound")
+}
+
+// runBenchSim is the engine-benchmark mode: naive vs memoized replay
+// throughput over the image matrix, a table on stdout and optionally
+// the BENCH_sim.json artifact. The report itself fails if the engines
+// ever disagree on simulated cycles.
+func runBenchSim(ctx context.Context, seed uint64, runs int, out string) {
+	doc, err := verikern.SimReport(ctx, seed, runs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(verikern.FormatSimBench(doc))
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := verikern.WriteSimBench(f, doc); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d-config engine benchmark to %s\n", len(doc.Configs), out)
+	}
 }
 
 // parseSoakSpec interprets -soak's argument: a bare integer is an op

@@ -1,0 +1,16 @@
+package cache
+
+// RecomputedFingerprint walks the full state from scratch; tests use it
+// to check the incrementally maintained fingerprint never drifts.
+func (c *Cache) RecomputedFingerprint() uint64 { return c.recomputeFingerprint() }
+
+// RecomputedSetFingerprint walks one set's state from scratch; tests
+// use it to check the incrementally maintained per-set fingerprints
+// never drift either.
+func (c *Cache) RecomputedSetFingerprint(set int) uint64 {
+	h := c.recomputeSetFingerprint(set)
+	if c.cfg.Policy == PseudoRandom {
+		h = mix64(h ^ fpLFSRSalt ^ uint64(c.lfsr))
+	}
+	return h
+}

@@ -1,0 +1,242 @@
+package cache
+
+// A map-based reference implementation of the cache model, kept as a
+// test-only oracle for the flattened slice-based Cache. It is a direct
+// port of the original per-set struct layout: sets materialise in maps
+// on first touch, so it exercises none of the index arithmetic the
+// production implementation relies on.
+
+type refLine struct {
+	valid  bool
+	dirty  bool
+	pinned bool
+	tag    uint32
+}
+
+type refCache struct {
+	cfg   Config
+	sets  map[int][]refLine
+	rr    map[int]int
+	lfsr  uint32
+	hits  uint64
+	miss  uint64
+	wback uint64
+}
+
+func newRefCache(cfg Config) *refCache {
+	return &refCache{
+		cfg:  cfg,
+		sets: make(map[int][]refLine),
+		rr:   make(map[int]int),
+		lfsr: 0xACE1,
+	}
+}
+
+func (c *refCache) set(addr uint32) int {
+	return int((addr >> uint(log2(c.cfg.LineBytes))) & uint32(c.cfg.Sets-1))
+}
+
+func (c *refCache) tag(addr uint32) uint32 {
+	return addr >> uint(log2(c.cfg.LineBytes)+log2(c.cfg.Sets))
+}
+
+func (c *refCache) ways(set int) []refLine {
+	w := c.sets[set]
+	if w == nil {
+		w = make([]refLine, c.cfg.Ways)
+		c.sets[set] = w
+	}
+	return w
+}
+
+func (c *refCache) rrOf(set int) int {
+	if v, ok := c.rr[set]; ok {
+		return v
+	}
+	return c.cfg.LockedWays
+}
+
+func (c *refCache) access(addr uint32, write bool) Result {
+	set := c.set(addr)
+	tag := c.tag(addr)
+	ways := c.ways(set)
+	for w := range ways {
+		if ways[w].valid && ways[w].tag == tag {
+			c.hits++
+			if write {
+				ways[w].dirty = true
+			}
+			if c.cfg.Policy == LRU {
+				c.touchLRU(ways, w)
+			}
+			return Result{Hit: true}
+		}
+	}
+	c.miss++
+	victim := c.victim(set, ways)
+	wb := ways[victim].valid && ways[victim].dirty
+	if wb {
+		c.wback++
+	}
+	ways[victim] = refLine{valid: true, dirty: write, tag: tag}
+	if c.cfg.Policy == LRU {
+		c.touchLRU(ways, victim)
+	}
+	return Result{Hit: false, Writeback: wb}
+}
+
+func (c *refCache) touchLRU(ways []refLine, w int) {
+	if w < c.cfg.LockedWays {
+		return
+	}
+	l := ways[w]
+	copy(ways[w:], ways[w+1:])
+	ways[len(ways)-1] = l
+}
+
+func (c *refCache) victim(set int, ways []refLine) int {
+	lo := c.cfg.LockedWays
+	n := c.cfg.Ways - lo
+	for w := lo; w < c.cfg.Ways; w++ {
+		if !ways[w].valid {
+			return w
+		}
+	}
+	switch c.cfg.Policy {
+	case RoundRobin:
+		v := c.rrOf(set)
+		if v < lo || v >= c.cfg.Ways {
+			v = lo
+		}
+		next := v + 1
+		if next >= c.cfg.Ways {
+			next = lo
+		}
+		c.rr[set] = next
+		return v
+	case PseudoRandom:
+		bit := ((c.lfsr >> 0) ^ (c.lfsr >> 2) ^ (c.lfsr >> 3) ^ (c.lfsr >> 5)) & 1
+		c.lfsr = (c.lfsr >> 1) | (bit << 15)
+		return lo + int(c.lfsr)%n
+	case LRU:
+		return lo
+	default:
+		return lo
+	}
+}
+
+func (c *refCache) pin(addr uint32) bool {
+	if c.cfg.LockedWays == 0 {
+		return false
+	}
+	set := c.set(addr)
+	tag := c.tag(addr)
+	ways := c.ways(set)
+	for w := 0; w < c.cfg.LockedWays; w++ {
+		if ways[w].valid && ways[w].pinned && ways[w].tag == tag {
+			return true
+		}
+	}
+	for w := 0; w < c.cfg.LockedWays; w++ {
+		if !ways[w].valid || !ways[w].pinned {
+			ways[w] = refLine{valid: true, pinned: true, tag: tag}
+			return true
+		}
+	}
+	return false
+}
+
+func (c *refCache) invalidateAll() {
+	for _, ways := range c.sets {
+		for w := range ways {
+			if !ways[w].pinned {
+				ways[w] = refLine{}
+			}
+		}
+	}
+}
+
+func (c *refCache) pollute(seed uint32) {
+	tagBase := 0x40000 | (seed & 0xFFFF)
+	for s := 0; s < c.cfg.Sets; s++ {
+		ways := c.ways(s)
+		for w := c.cfg.LockedWays; w < c.cfg.Ways; w++ {
+			ways[w] = refLine{valid: true, dirty: true, tag: tagBase + uint32(w)<<20}
+		}
+	}
+}
+
+func (c *refCache) dirtyFootprint(addrs []uint32, seed uint32) {
+	tagBase := 0x40000 | (seed & 0xFFFF)
+	for _, a := range addrs {
+		set := c.set(a)
+		own := c.tag(a)
+		ways := c.ways(set)
+		for w := c.cfg.LockedWays; w < c.cfg.Ways; w++ {
+			tag := tagBase + uint32(w)<<20
+			if tag == own {
+				tag ^= 1 << 19
+			}
+			ways[w] = refLine{valid: true, dirty: true, tag: tag}
+		}
+	}
+}
+
+func (c *refCache) advanceReplacement(n int) {
+	if n <= 0 {
+		return
+	}
+	lo := c.cfg.LockedWays
+	span := c.cfg.Ways - lo
+	for s := 0; s < c.cfg.Sets; s++ {
+		v := c.rrOf(s) - lo
+		c.rr[s] = lo + (v+n)%span
+	}
+	for i := 0; i < n; i++ {
+		bit := ((c.lfsr >> 0) ^ (c.lfsr >> 2) ^ (c.lfsr >> 3) ^ (c.lfsr >> 5)) & 1
+		c.lfsr = (c.lfsr >> 1) | (bit << 15)
+	}
+}
+
+// matches reports whether the production cache's observable state is
+// identical to the reference's, returning a description of the first
+// divergence.
+func (c *refCache) matches(pc *Cache) (bool, string) {
+	for s := 0; s < c.cfg.Sets; s++ {
+		ways := c.sets[s]
+		for w := 0; w < c.cfg.Ways; w++ {
+			var want refLine
+			if ways != nil {
+				want = ways[w]
+			}
+			i := s*c.cfg.Ways + w
+			got := refLine{
+				valid:  pc.flags[i]&flagValid != 0,
+				dirty:  pc.flags[i]&flagDirty != 0,
+				pinned: pc.flags[i]&flagPinned != 0,
+				tag:    pc.tags[i],
+			}
+			if !got.valid {
+				got.tag = 0 // invalid tags are canonical-zero in the reference
+			}
+			if !want.valid {
+				want.tag = 0
+			}
+			if got != want {
+				return false, stateDiff("set", s, "way", w, want, got)
+			}
+		}
+		if c.cfg.Policy == RoundRobin && c.rrOf(s) != int(pc.rrNext[s]) {
+			return false, stateDiff("set", s, "rr", 0, c.rrOf(s), pc.rrNext[s])
+		}
+	}
+	if c.cfg.Policy == PseudoRandom && c.lfsr != pc.lfsr {
+		return false, stateDiff("lfsr", 0, "", 0, c.lfsr, pc.lfsr)
+	}
+	h, m, wb := pc.Stats()
+	if h != c.hits || m != c.miss || wb != c.wback {
+		return false, stateDiff("stats", 0, "", 0,
+			[3]uint64{c.hits, c.miss, c.wback}, [3]uint64{h, m, wb})
+	}
+	return true, ""
+}

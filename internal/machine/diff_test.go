@@ -1,0 +1,332 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"verikern/internal/arch"
+	"verikern/internal/kimage"
+	"verikern/internal/obs"
+)
+
+// diffConfigs is the platform matrix the differential harness sweeps:
+// the paper's evaluated configurations including pinned L1 ways and
+// locked L2 kernel text.
+func diffConfigs() []arch.Config {
+	return []arch.Config{
+		{L2Enabled: true, BranchPredictor: true, PinnedL1Ways: 1, L2LockedKernel: true},
+		{L2Enabled: true, BranchPredictor: true},
+		{L2Enabled: false, BranchPredictor: false, PinnedL1Ways: 1},
+		{L2Enabled: false, BranchPredictor: false},
+	}
+}
+
+// synthImage builds a random linked image: a few functions of blocks
+// mixing ALU work, fixed and strided loads/stores, with some code and
+// data lines pinned so the pinned configurations exercise locked ways.
+func synthImage(t testing.TB, rng *rand.Rand, nFuncs, nBlocks, maxInstr int) (*kimage.Image, []*kimage.Block) {
+	img := kimage.New()
+	var all []*kimage.Block
+	dataSyms := make([]uint32, 6)
+	for i := range dataSyms {
+		dataSyms[i] = img.Data(fmt.Sprintf("d%d", i), 256)
+	}
+	for fi := 0; fi < nFuncs; fi++ {
+		f := &kimage.Func{Name: fmt.Sprintf("f%d", fi)}
+		for bi := 0; bi < nBlocks; bi++ {
+			b := &kimage.Block{Name: fmt.Sprintf("b%d", bi)}
+			n := 1 + rng.Intn(maxInstr)
+			for k := 0; k < n; k++ {
+				ins := kimage.Instr{Class: arch.ALU}
+				switch rng.Intn(6) {
+				case 0:
+					ins.Class = arch.Mul
+				case 1, 2:
+					ins.Class = arch.Load
+					base := dataSyms[rng.Intn(len(dataSyms))] + uint32(rng.Intn(8))*4
+					ins.Data = kimage.DataRef{Base: base}
+					if rng.Intn(2) == 0 {
+						ins.Data.Stride = []uint32{4, 32}[rng.Intn(2)]
+						ins.Data.Count = uint32(2 + rng.Intn(6))
+					}
+				case 3:
+					ins.Class = arch.Store
+					ins.Data = kimage.DataRef{
+						Base:  dataSyms[rng.Intn(len(dataSyms))],
+						Write: true,
+					}
+					if rng.Intn(3) == 0 {
+						ins.Data.Stride = 32
+						ins.Data.Count = uint32(2 + rng.Intn(4))
+						ins.Data.Write = true
+					}
+				}
+				b.Instrs = append(b.Instrs, ins)
+			}
+			if bi+1 < nBlocks {
+				b.Succs = []string{fmt.Sprintf("b%d", bi+1)}
+			}
+			f.Blocks = append(f.Blocks, b)
+			all = append(all, b)
+		}
+		img.AddFunc(f)
+	}
+	if err := img.Link(); err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	// Pin a few code and data lines so locked ways hold state.
+	for i := 0; i < 4 && i < len(all); i++ {
+		img.PinLines(all[i].Addr &^ 31)
+	}
+	img.PinData(dataSyms[0], dataSyms[1])
+	return img, all
+}
+
+// synthTrace draws a random walk over the image's blocks; consecutive
+// fallthrough pairs give traceTaken both directions.
+func synthTrace(rng *rand.Rand, all []*kimage.Block, n int) []*kimage.Block {
+	trace := make([]*kimage.Block, 0, n)
+	i := rng.Intn(len(all))
+	for len(trace) < n {
+		trace = append(trace, all[i])
+		if rng.Intn(3) > 0 && i+1 < len(all) {
+			i++ // frequent fallthrough keeps some branches not-taken
+		} else {
+			i = rng.Intn(len(all))
+		}
+	}
+	return trace
+}
+
+func compareCounters(t *testing.T, label string, n, m Counters) {
+	t.Helper()
+	if n != m {
+		t.Fatalf("%s: counters diverged\nnaive %+v\nmemo  %+v", label, n, m)
+	}
+}
+
+func compareEvents(t *testing.T, label string, ne, me []obs.Event) {
+	t.Helper()
+	if len(ne) != len(me) {
+		t.Fatalf("%s: event count %d naive vs %d memo", label, len(ne), len(me))
+	}
+	for i := range ne {
+		if ne[i] != me[i] {
+			t.Fatalf("%s: event %d diverged: naive %+v memo %+v", label, i, ne[i], me[i])
+		}
+	}
+}
+
+// TestMemoMatchesNaive replays identical seeded workloads — randomized
+// priming (pollution, footprint dirtying, replacement advance,
+// mistraining) followed by trace runs — through the naive and memoized
+// engines across the full configuration matrix, demanding identical
+// cycles, PMU counters, emitted events and final microarchitectural
+// state after every run.
+func TestMemoMatchesNaive(t *testing.T) {
+	for ci, hw := range diffConfigs() {
+		hw := hw
+		t.Run(fmt.Sprintf("cfg%d", ci), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + ci)))
+			img, all := synthImage(t, rng, 3, 6, 8)
+			memo := NewMemo()
+
+			naive := New(hw)
+			naive.LoadImage(img)
+			memod := New(hw)
+			memod.LoadImage(img)
+			memod.SetMemo(memo)
+
+			trN := obs.NewTracer(4096)
+			trM := obs.NewTracer(4096)
+			naive.SetTracer(trN)
+			memod.SetTracer(trM)
+
+			for run := 0; run < 30; run++ {
+				trace := synthTrace(rng, all, 40+rng.Intn(80))
+				spec := PrimeSpec{
+					Seed:               rng.Uint32(),
+					Footprint:          rng.Intn(2) == 0,
+					ReplacementAdvance: rng.Intn(5),
+					Mistrain:           rng.Intn(2) == 0,
+				}
+				if rng.Intn(4) == 0 {
+					// Warm repeat: no repriming, so the memoized run
+					// exercises the pure-hit no-state-change path.
+				} else {
+					naive.Prime(trace, spec)
+					memod.Prime(trace, spec)
+				}
+				cn := naive.Run(trace)
+				cm := memod.Run(trace)
+				label := fmt.Sprintf("cfg%d run %d", ci, run)
+				if cn != cm {
+					t.Fatalf("%s: cycles diverged: naive %d memo %d", label, cn, cm)
+				}
+				compareCounters(t, label, naive.Counters(), memod.Counters())
+				if naive.StateFingerprint() != memod.StateFingerprint() {
+					t.Fatalf("%s: state fingerprints diverged", label)
+				}
+				if !naive.StateEqual(memod) {
+					t.Fatalf("%s: state diverged\nnaive:\n%s\nmemo:\n%s",
+						label, naive.StateString(), memod.StateString())
+				}
+			}
+			compareEvents(t, fmt.Sprintf("cfg%d", ci), trN.Events(), trM.Events())
+			st := memo.Stats()
+			if st.Hits == 0 {
+				t.Fatalf("cfg%d: memo never hit (misses %d) — key too wide?", ci, st.Misses)
+			}
+		})
+	}
+}
+
+// TestRunMemoMatchesNaive targets the run-level memo: repeated runs of
+// the same trace with no repriming between them, so the whole-machine
+// pre-state fingerprint repeats and Run is served by a compiled replay
+// (applyRun) rather than block-by-block. Every run must still match a
+// naive engine exactly, and the run-level layer must actually hit.
+// A final in-place trace mutation (same backing array, same length)
+// must defeat the run cache's identity check and still match naive.
+func TestRunMemoMatchesNaive(t *testing.T) {
+	for ci, hw := range diffConfigs() {
+		hw := hw
+		t.Run(fmt.Sprintf("cfg%d", ci), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(7000 + ci)))
+			img, all := synthImage(t, rng, 3, 6, 8)
+			trace := synthTrace(rng, all, 60)
+
+			naive := New(hw)
+			naive.LoadImage(img)
+			memod := New(hw)
+			memod.LoadImage(img)
+			memo := NewMemo()
+			memod.SetMemo(memo)
+
+			spec := PrimeSpec{Seed: rng.Uint32(), Footprint: true, Mistrain: true}
+			naive.Prime(trace, spec)
+			memod.Prime(trace, spec)
+
+			for run := 0; run < 20; run++ {
+				cn := naive.Run(trace)
+				cm := memod.Run(trace)
+				label := fmt.Sprintf("cfg%d warm run %d", ci, run)
+				if cn != cm {
+					t.Fatalf("%s: cycles diverged: naive %d memo %d", label, cn, cm)
+				}
+				compareCounters(t, label, naive.Counters(), memod.Counters())
+				if naive.StateFingerprint() != memod.StateFingerprint() {
+					t.Fatalf("%s: state fingerprints diverged", label)
+				}
+				if !naive.StateEqual(memod) {
+					t.Fatalf("%s: state diverged\nnaive:\n%s\nmemo:\n%s",
+						label, naive.StateString(), memod.StateString())
+				}
+			}
+			st := memo.Stats()
+			if st.RunHits == 0 {
+				t.Fatalf("cfg%d: run-level memo never hit (run misses %d)", ci, st.RunMisses)
+			}
+
+			// Mutate the trace in place: identical slice header, different
+			// contents. The compiled entry's trace copy must reject the
+			// stale replay and results must still track naive.
+			trace[len(trace)/2] = all[(len(all)/2+1)%len(all)]
+			cn := naive.Run(trace)
+			cm := memod.Run(trace)
+			if cn != cm {
+				t.Fatalf("cfg%d mutated trace: cycles diverged: naive %d memo %d", ci, cn, cm)
+			}
+			compareCounters(t, fmt.Sprintf("cfg%d mutated trace", ci), naive.Counters(), memod.Counters())
+			if !naive.StateEqual(memod) {
+				t.Fatalf("cfg%d mutated trace: state diverged", ci)
+			}
+		})
+	}
+}
+
+// TestMemoSharedAcrossMachines reproduces the measurement-helper usage:
+// a fresh machine per run, all sharing one memo (the ReplayPrimed
+// pattern). Outcomes must match fresh naive machines run for run, and
+// the memo must actually serve hits across machine instances.
+func TestMemoSharedAcrossMachines(t *testing.T) {
+	hw := diffConfigs()[0]
+	rng := rand.New(rand.NewSource(42))
+	img, all := synthImage(t, rng, 2, 5, 6)
+	trace := synthTrace(rng, all, 60)
+	memo := NewMemo()
+	for run := 0; run < 10; run++ {
+		spec := PrimeSpec{Seed: uint32(run % 3), Footprint: run%2 == 0, Mistrain: run%3 == 0}
+		n := New(hw)
+		n.LoadImage(img)
+		n.Prime(trace, spec)
+		cn := n.Run(trace)
+
+		m := New(hw)
+		m.LoadImage(img)
+		m.SetMemo(memo)
+		m.Prime(trace, spec)
+		cm := m.Run(trace)
+
+		if cn != cm {
+			t.Fatalf("run %d: cycles diverged: naive %d memo %d", run, cn, cm)
+		}
+		compareCounters(t, fmt.Sprintf("run %d", run), n.Counters(), m.Counters())
+		if !n.StateEqual(m) {
+			t.Fatalf("run %d: state diverged", run)
+		}
+	}
+	if st := memo.Stats(); st.Hits == 0 {
+		t.Fatalf("memo never hit across machines: %+v", st)
+	}
+}
+
+// TestMemoDeterministic: replaying the same workload against the same
+// warm memo twice must serve the second pass entirely from hits with
+// identical results — the determinism the memo's soundness argument
+// rests on.
+func TestMemoDeterministic(t *testing.T) {
+	hw := diffConfigs()[1]
+	rng := rand.New(rand.NewSource(7))
+	img, all := synthImage(t, rng, 2, 6, 6)
+	trace := synthTrace(rng, all, 80)
+	memo := NewMemo()
+
+	pass := func() (uint64, Counters, uint64) {
+		m := New(hw)
+		m.LoadImage(img)
+		m.SetMemo(memo)
+		m.Prime(trace, PrimeSpec{Seed: 9, Footprint: true, Mistrain: true})
+		c := m.Run(trace)
+		return c, m.Counters(), m.StateFingerprint()
+	}
+	c1, ctr1, fp1 := pass()
+	before := memo.Stats()
+	c2, ctr2, fp2 := pass()
+	after := memo.Stats()
+	if c1 != c2 || ctr1 != ctr2 || fp1 != fp2 {
+		t.Fatalf("second pass diverged: cycles %d vs %d", c1, c2)
+	}
+	if after.Misses != before.Misses {
+		t.Fatalf("second pass missed (%d new misses); identical state must hit", after.Misses-before.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Fatal("second pass recorded no hits")
+	}
+}
+
+// TestMemoConfigBinding: sharing a memo across platform configurations
+// would be unsound and must panic.
+func TestMemoConfigBinding(t *testing.T) {
+	memo := NewMemo()
+	m1 := New(diffConfigs()[0])
+	m1.SetMemo(memo)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("attaching a memo to a different configuration did not panic")
+		}
+	}()
+	m2 := New(diffConfigs()[3])
+	m2.SetMemo(memo)
+}

@@ -1,0 +1,973 @@
+package machine
+
+import (
+	"fmt"
+
+	"verikern/internal/arch"
+	"verikern/internal/cache"
+	"verikern/internal/kimage"
+)
+
+// This file implements the memoized block-retirement engine: the same
+// content-addressing idea that gave the analysis pass cache its ~66x
+// win, applied to the cycle-accurate simulator. The timing model is
+// fully deterministic, so a basic block retiring from an identical
+// (block identity, strided-reference phases, touched cache-set state,
+// predictor counter) input must consume identical cycles and leave
+// identical state — the memo caches exactly that input→output mapping
+// and replays the stored deltas instead of re-simulating the block.
+//
+// Soundness rests on the key covering everything retirement reads and
+// the snapshot covering everything it writes:
+//
+//   - reads: the block's instruction list (pointer identity → numeric
+//     id), the branch direction, the execution phase of every strided
+//     data reference (which picks the concrete addresses), the state of
+//     every cache set any of those addresses can map to (per-set
+//     fingerprints, including the round-robin victim pointer), and the
+//     2-bit predictor counter the terminating branch indexes;
+//   - writes: lines and victim pointers of exactly those sets, the same
+//     predictor counter, per-cache hit/miss/writeback statistics and
+//     the machine's PMU counters — all captured as deltas/post-state on
+//     the entry.
+//
+// The L2 set list conservatively includes the L2 sets of every address
+// the block can touch, whether or not the L1 filters the access; a
+// superset only costs hit rate, never correctness. Per-set fingerprints
+// are 64-bit, so two different set states colliding within one bucket
+// is the same ~2^-64 residual risk the pass cache accepts; buckets
+// still verify block id, direction, phases and the full fingerprint
+// vector before declaring a hit.
+
+// Memo is a shared block-retirement cache. It is bound to the first
+// machine configuration it is used with (sharing across configurations
+// would be unsound and panics). A Memo is not safe for concurrent use:
+// concurrent consumers (soak workers) each hold their own.
+type Memo struct {
+	cfg     arch.Config
+	bound   bool
+	blocks  map[*kimage.Block]*blockInfo
+	nextID  uint64
+	buckets map[uint64][]*memoEntry
+	hits    uint64
+	misses  uint64
+
+	// Lookup scratch, reused across calls so the steady-state hit path
+	// does not allocate.
+	phases  []uint32
+	dAddrs  []uint32
+	l1dSets []int32
+	l2Sets  []int32
+	fps     []uint64
+
+	// runTrace identifies the trace Run last replayed through this memo
+	// (slice head + length); runPos caches, per trace position, the
+	// block's compiled info and the entry served there most recently.
+	// Warm replays of one trace hit the same entry at every position, so
+	// the steady state verifies the MRU entry directly and never touches
+	// the block map, the hash, or the bucket map.
+	runTrace []*kimage.Block
+	runPos   []posCache
+
+	// The run-level memo: whole replays keyed by the machine's state
+	// fingerprint. Unpolluted warm replays drive the machine through a
+	// short cycle of run-boundary states (round-robin pointers advance
+	// through periodic orbits), so after one cycle every Run resolves to
+	// a compiled entry that replays the run's net effect — last write
+	// per touched set, final branch counters, summed statistics —
+	// without visiting the blocks at all. Cleared whenever Run switches
+	// traces; capped so per-run pollution (which never revisits a state)
+	// cannot grow it without bound.
+	runs       map[uint64]*runEntry
+	runHits    uint64
+	runMisses  uint64
+	capturing  bool
+	capPairs   []capPair
+	runIdxs    []runIdxWrite
+	runIdxDone bool
+}
+
+// runMemoCap bounds how many run entries one trace can accumulate: a
+// steady-state cycle needs only its period (a handful), while workloads
+// that pollute between runs never rematch a state and would otherwise
+// grow the table one dead entry per replay.
+const runMemoCap = 64
+
+// capPair records one state-changing block retirement during a run
+// capture, in execution order.
+type capPair struct {
+	bi *blockInfo
+	e  *memoEntry
+}
+
+// runSetWrite is one compiled set overwrite: the run's final content of
+// a touched set (aliasing the owning entry's immutable snapshot) plus
+// the set's post-run fingerprint, from which the apply path derives the
+// fingerprint delta with one load.
+type runSetWrite struct {
+	level  uint8 // 0 = L1I, 1 = L1D, 2 = L2
+	set    int32
+	rr     int32
+	postFP uint64
+	tags   []uint32
+	flags  []uint8
+}
+
+// runBPWrite is one compiled predictor-counter overwrite, deduplicated
+// by counter index (distinct branch addresses can alias one counter).
+type runBPWrite struct {
+	addr uint32
+	ctr  uint8
+}
+
+// runIdxWrite sets one strided instruction's execution index to its
+// end-of-run value (the block's occurrence count in the trace). The
+// machine's index slice is re-resolved when the consuming machine
+// changes, like posCache.idx.
+type runIdxWrite struct {
+	b     *kimage.Block
+	instr int32
+	count uint64
+	idxM  *Machine
+	idx   []uint64
+}
+
+// runEntry is one compiled whole-run replay.
+type runEntry struct {
+	// trace is a defensive copy of the block sequence the entry was
+	// captured against; a hit re-verifies it element-wise, so mutating
+	// a trace slice in place between runs cannot serve stale state.
+	trace    []*kimage.Block
+	cycles   uint64
+	instrs   uint64
+	branches uint64
+	wbs      uint64
+	l1iStat  [3]uint64
+	l1dStat  [3]uint64
+	l2Stat   [3]uint64
+	bpGood   uint64
+	bpBad    uint64
+	sets     []runSetWrite
+	bps      []runBPWrite
+}
+
+// posCache is the per-trace-position lookup cache. block and next
+// anchor the cached values to the trace content (both are re-verified
+// every retirement, so in-place trace mutation cannot serve stale
+// state): taken is the branch direction at this position, bi the
+// block's compiled key material, last the entry served here most
+// recently. idx caches the machine's execution-index slice for strided
+// blocks, keyed by the owning machine.
+type posCache struct {
+	block *kimage.Block
+	next  *kimage.Block
+	taken bool
+	bi    *blockInfo
+	last  *memoEntry
+	idxM  *Machine
+	idx   []uint64
+}
+
+// NewMemo returns an empty memo table.
+func NewMemo() *Memo {
+	return &Memo{
+		blocks:  make(map[*kimage.Block]*blockInfo),
+		buckets: make(map[uint64][]*memoEntry),
+		runs:    make(map[uint64]*runEntry),
+	}
+}
+
+// MemoStats reports memo effectiveness. Hits counts block retirements
+// served from cache, including those covered by a run-level hit (a run
+// hit serves every block in the trace); RunHits/RunMisses count whole-
+// run lookups.
+type MemoStats struct {
+	Hits      uint64
+	Misses    uint64
+	Entries   uint64
+	RunHits   uint64
+	RunMisses uint64
+}
+
+// HitRate returns hits/(hits+misses), 0 with no lookups.
+func (s MemoStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats returns accumulated lookup statistics.
+func (mm *Memo) Stats() MemoStats {
+	var n uint64
+	for _, b := range mm.buckets {
+		n += uint64(len(b))
+	}
+	return MemoStats{
+		Hits: mm.hits, Misses: mm.misses, Entries: n,
+		RunHits: mm.runHits, RunMisses: mm.runMisses,
+	}
+}
+
+// bind pins the memo to one platform configuration.
+func (mm *Memo) bind(cfg arch.Config) {
+	if !mm.bound {
+		mm.cfg = cfg
+		mm.bound = true
+		return
+	}
+	if mm.cfg != cfg {
+		panic(fmt.Sprintf("machine: memo bound to config %+v reused with %+v", mm.cfg, cfg))
+	}
+}
+
+// stridedRef is a non-fixed data reference: its concrete address per
+// execution depends on the instruction's execution index.
+type stridedRef struct {
+	instr int
+	ref   kimage.DataRef
+}
+
+// blockInfo is the per-block compilation the memo keys on: everything
+// about retirement that is constant across executions under one
+// configuration.
+type blockInfo struct {
+	id         uint64
+	nInstr     uint64
+	branchAddr uint32
+	// iAddrs are the fetch addresses outside the ITCM; iSets their
+	// deduplicated L1I sets.
+	iAddrs []uint32
+	iSets  []int32
+	// fixedAddrs are the fixed data-reference addresses outside the
+	// DTCM; strided the phase-dependent references (kept unfiltered —
+	// a stride can cross the TCM boundary, so the filter is per
+	// concrete address).
+	fixedAddrs []uint32
+	strided    []stridedRef
+	// For blocks without strided references the data addresses — and
+	// with them the touched D-side and L2 set lists — are constants;
+	// they are compiled here once so retirement skips the per-lookup
+	// address assembly and set deduplication.
+	fixedL1DSets []int32
+	fixedL2Sets  []int32
+}
+
+// memoEntry is one cached retirement: the verified key components plus
+// the replayable outcome.
+type memoEntry struct {
+	blockID   uint64
+	taken     bool
+	branchCtr uint8
+	phases    []uint32
+	fps       []uint64
+
+	// succ predicts the entry that will match at the same trace
+	// position on the following run: the machine's warm state evolves
+	// through a deterministic cycle, so each position's entry sequence
+	// is periodic and the last-observed successor is almost always the
+	// next match. A pure prediction — always fully verified before
+	// serving.
+	succ *memoEntry
+
+	cycles  uint64
+	wbDelta uint64 // machine-level writeback counter delta
+	l1iStat [3]uint64
+	l1dStat [3]uint64
+	l2Stat  [3]uint64
+	bpGood  uint64
+	bpBad   uint64
+	bpPost  uint8
+	// noStateChange marks entries whose retirement left every touched
+	// set and the predictor counter untouched (the warm read-path
+	// common case under round-robin replacement): hits skip the
+	// restore walk entirely.
+	noStateChange bool
+	// deltas holds, per touched set in key order, the set fingerprint's
+	// post XOR pre — restore applies them instead of re-hashing lines
+	// (except under pseudo-random replacement, whose set fingerprints
+	// fold in the global LFSR).
+	deltas []uint64
+
+	// Post-state of the touched sets, cache by cache. The L1I set list
+	// lives on blockInfo (it is phase-independent); the D/L2 lists are
+	// phase-dependent and owned by the entry.
+	l1dSets  []int32
+	l2Sets   []int32
+	l1iTags  []uint32
+	l1iFlags []uint8
+	l1iRR    []int32
+	l1dTags  []uint32
+	l1dFlags []uint8
+	l1dRR    []int32
+	l2Tags   []uint32
+	l2Flags  []uint8
+	l2RR     []int32
+}
+
+func (e *memoEntry) matches(id uint64, taken bool, ctr uint8, phases []uint32, fps []uint64) bool {
+	if !e.keyMatches(id, taken, ctr, phases, len(fps)) {
+		return false
+	}
+	for i := range fps {
+		if e.fps[i] != fps[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// keyMatches verifies everything but the set fingerprints: block
+// identity, branch direction and counter, strided phases, and the
+// fingerprint count (so a stateMatch walk can index e.fps safely).
+func (e *memoEntry) keyMatches(id uint64, taken bool, ctr uint8, phases []uint32, nfps int) bool {
+	if e.blockID != id || e.taken != taken || e.branchCtr != ctr ||
+		len(e.phases) != len(phases) || len(e.fps) != nfps {
+		return false
+	}
+	for i := range phases {
+		if e.phases[i] != phases[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// stateMatch verifies an entry's recorded pre-state fingerprints
+// against the machine's current touched sets, reading each fingerprint
+// straight into the comparison — the predicted-entry path never
+// materializes the fingerprint vector.
+func stateMatch(m *Machine, bi *blockInfo, l1dSets, l2Sets []int32, e *memoEntry) bool {
+	k := 0
+	for _, s := range bi.iSets {
+		if e.fps[k] != m.l1i.SetFingerprint(int(s)) {
+			return false
+		}
+		k++
+	}
+	for _, s := range l1dSets {
+		if e.fps[k] != m.l1d.SetFingerprint(int(s)) {
+			return false
+		}
+		k++
+	}
+	for _, s := range l2Sets {
+		if e.fps[k] != m.l2.SetFingerprint(int(s)) {
+			return false
+		}
+		k++
+	}
+	return true
+}
+
+// memoMix folds one word into a running hash (splitmix64 finaliser).
+func memoMix(h, x uint64) uint64 {
+	h ^= x
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+func appendSetIfNew(sets []int32, s int32) []int32 {
+	for _, v := range sets {
+		if v == s {
+			return sets
+		}
+	}
+	return append(sets, s)
+}
+
+// info returns (compiling on first sight) the block's constant key
+// material under m's configuration.
+func (mm *Memo) info(m *Machine, b *kimage.Block) *blockInfo {
+	if bi, ok := mm.blocks[b]; ok {
+		return bi
+	}
+	bi := &blockInfo{id: mm.nextID, nInstr: uint64(len(b.Instrs))}
+	mm.nextID++
+	for i := range b.Instrs {
+		ins := &b.Instrs[i]
+		if fa := b.InstrAddr(i); !m.cfg.InITCM(fa) {
+			bi.iAddrs = append(bi.iAddrs, fa)
+		}
+		if ins.Data.Base != 0 {
+			if ins.Data.Fixed() {
+				if !m.cfg.InDTCM(ins.Data.Base) {
+					bi.fixedAddrs = append(bi.fixedAddrs, ins.Data.Base)
+				}
+			} else {
+				bi.strided = append(bi.strided, stridedRef{instr: i, ref: ins.Data})
+			}
+		}
+	}
+	bi.branchAddr = b.Addr
+	if n := len(b.Instrs); n > 0 {
+		bi.branchAddr = b.InstrAddr(n - 1)
+	}
+	for _, a := range bi.iAddrs {
+		bi.iSets = appendSetIfNew(bi.iSets, int32(m.l1i.Set(a)))
+	}
+	if len(bi.strided) == 0 {
+		for _, a := range bi.fixedAddrs {
+			bi.fixedL1DSets = appendSetIfNew(bi.fixedL1DSets, int32(m.l1d.Set(a)))
+		}
+		if m.l2 != nil {
+			for _, a := range bi.iAddrs {
+				bi.fixedL2Sets = appendSetIfNew(bi.fixedL2Sets, int32(m.l2.Set(a)))
+			}
+			for _, a := range bi.fixedAddrs {
+				bi.fixedL2Sets = appendSetIfNew(bi.fixedL2Sets, int32(m.l2.Set(a)))
+			}
+		}
+	}
+	mm.blocks[b] = bi
+	return bi
+}
+
+// runCache returns the per-position lookup cache for a trace,
+// rebuilding it when Run switches traces. Identity is the slice header
+// (head pointer + length); a stale hit is impossible because execPos
+// re-verifies the block pointer at every position.
+func (mm *Memo) runCache(trace []*kimage.Block) []posCache {
+	if len(trace) > 0 && len(mm.runTrace) == len(trace) && &mm.runTrace[0] == &trace[0] {
+		return mm.runPos
+	}
+	mm.runTrace = trace
+	mm.runPos = make([]posCache, len(trace))
+	// Run entries are compiled against one trace; switching traces
+	// invalidates them (and the per-trace index-write compilation).
+	clear(mm.runs)
+	mm.runIdxs = mm.runIdxs[:0]
+	mm.runIdxDone = false
+	return mm.runPos
+}
+
+// runSafe reports whether the run-level memo may serve this machine:
+// the delta-based set restore is unsound under pseudo-random
+// replacement (set fingerprints fold in the global LFSR).
+func (mm *Memo) runSafe(m *Machine) bool {
+	if m.l1i.Config().Policy == cache.PseudoRandom || m.l1d.Config().Policy == cache.PseudoRandom {
+		return false
+	}
+	return m.l2 == nil || m.l2.Config().Policy != cache.PseudoRandom
+}
+
+// sameTrace verifies a run entry's captured block sequence against the
+// live trace, element-wise.
+func sameTrace(a, b []*kimage.Block) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runExec executes one Run through the memo: a run-level hit replays
+// the compiled whole-run effect; otherwise the trace retires block by
+// block (capturing a new run entry while the table has room).
+func (mm *Memo) runExec(m *Machine, trace []*kimage.Block) uint64 {
+	pcs := mm.runCache(trace)
+	safe := mm.runSafe(m)
+	var pre uint64
+	if safe {
+		pre = m.StateFingerprint()
+		if re := mm.runs[pre]; re != nil && sameTrace(re.trace, trace) {
+			mm.runHits++
+			mm.hits += uint64(len(trace))
+			return mm.applyRun(m, re)
+		}
+	}
+	capture := safe && len(mm.runs) < runMemoCap
+	var i0, b0, w0 uint64
+	var l1i0, l1d0, l20 [3]uint64
+	var bpG0, bpB0 uint64
+	if capture {
+		mm.runMisses++
+		i0, b0, w0 = m.counters.Instructions, m.counters.Branches, m.counters.Writebacks
+		l1i0[0], l1i0[1], l1i0[2] = m.l1i.Stats()
+		l1d0[0], l1d0[1], l1d0[2] = m.l1d.Stats()
+		if m.l2 != nil {
+			l20[0], l20[1], l20[2] = m.l2.Stats()
+		}
+		bpG0, bpB0 = m.bp.Stats()
+		mm.capPairs = mm.capPairs[:0]
+		mm.capturing = true
+	}
+	var total uint64
+	for i := range trace {
+		total += mm.execPos(m, &pcs[i], trace, i)
+	}
+	if capture {
+		mm.capturing = false
+		re := &runEntry{
+			trace:    append([]*kimage.Block(nil), trace...),
+			cycles:   total,
+			instrs:   m.counters.Instructions - i0,
+			branches: m.counters.Branches - b0,
+			wbs:      m.counters.Writebacks - w0,
+			bps:      mm.compileBPWrites(m),
+			sets:     mm.compileSetWrites(m),
+		}
+		h, mi, w := m.l1i.Stats()
+		re.l1iStat = [3]uint64{h - l1i0[0], mi - l1i0[1], w - l1i0[2]}
+		h, mi, w = m.l1d.Stats()
+		re.l1dStat = [3]uint64{h - l1d0[0], mi - l1d0[1], w - l1d0[2]}
+		if m.l2 != nil {
+			h, mi, w = m.l2.Stats()
+			re.l2Stat = [3]uint64{h - l20[0], mi - l20[1], w - l20[2]}
+		}
+		bpG1, bpB1 := m.bp.Stats()
+		re.bpGood, re.bpBad = bpG1-bpG0, bpB1-bpB0
+		mm.compileRunIdxs(pcs)
+		mm.runs[pre] = re
+	}
+	return total
+}
+
+// compileSetWrites reduces the capture's state-changing retirements to
+// one write per touched set — the last writer wins — and stamps each
+// with the set's post-run fingerprint.
+func (mm *Memo) compileSetWrites(m *Machine) []runSetWrite {
+	type setKey struct {
+		level uint8
+		set   int32
+	}
+	var out []runSetWrite
+	index := make(map[setKey]int)
+	add := func(level uint8, set int32, tags []uint32, flags []uint8, rr int32) {
+		k := setKey{level, set}
+		w := runSetWrite{level: level, set: set, rr: rr, tags: tags, flags: flags}
+		if j, ok := index[k]; ok {
+			out[j] = w
+			return
+		}
+		index[k] = len(out)
+		out = append(out, w)
+	}
+	for _, p := range mm.capPairs {
+		e, bi := p.e, p.bi
+		w := m.l1i.Config().Ways
+		for k, s := range bi.iSets {
+			add(0, s, e.l1iTags[k*w:(k+1)*w], e.l1iFlags[k*w:(k+1)*w], e.l1iRR[k])
+		}
+		w = m.l1d.Config().Ways
+		for k, s := range e.l1dSets {
+			add(1, s, e.l1dTags[k*w:(k+1)*w], e.l1dFlags[k*w:(k+1)*w], e.l1dRR[k])
+		}
+		if m.l2 != nil {
+			w = m.l2.Config().Ways
+			for k, s := range e.l2Sets {
+				add(2, s, e.l2Tags[k*w:(k+1)*w], e.l2Flags[k*w:(k+1)*w], e.l2RR[k])
+			}
+		}
+	}
+	for i := range out {
+		w := &out[i]
+		switch w.level {
+		case 0:
+			w.postFP = m.l1i.SetFingerprint(int(w.set))
+		case 1:
+			w.postFP = m.l1d.SetFingerprint(int(w.set))
+		default:
+			w.postFP = m.l2.SetFingerprint(int(w.set))
+		}
+	}
+	return out
+}
+
+// compileBPWrites reduces the capture's predictor-counter writes to one
+// per counter index (aliasing branch addresses share a counter, so the
+// last write by index wins).
+func (mm *Memo) compileBPWrites(m *Machine) []runBPWrite {
+	var out []runBPWrite
+	index := make(map[uint32]int)
+	for _, p := range mm.capPairs {
+		idx := m.bp.Index(p.bi.branchAddr)
+		if j, ok := index[idx]; ok {
+			out[j] = runBPWrite{addr: p.bi.branchAddr, ctr: p.e.bpPost}
+			continue
+		}
+		index[idx] = len(out)
+		out = append(out, runBPWrite{addr: p.bi.branchAddr, ctr: p.e.bpPost})
+	}
+	return out
+}
+
+// compileRunIdxs records, once per trace, each strided instruction's
+// end-of-run execution index (its block's occurrence count in the
+// trace) — the index state a block-by-block memoized run leaves behind.
+func (mm *Memo) compileRunIdxs(pcs []posCache) {
+	if mm.runIdxDone {
+		return
+	}
+	counts := make(map[*kimage.Block]uint64)
+	for i := range pcs {
+		counts[pcs[i].block]++
+	}
+	seen := make(map[*kimage.Block]bool)
+	for i := range pcs {
+		b, bi := pcs[i].block, pcs[i].bi
+		if bi == nil || seen[b] {
+			continue
+		}
+		seen[b] = true
+		for _, sr := range bi.strided {
+			mm.runIdxs = append(mm.runIdxs, runIdxWrite{
+				b: b, instr: int32(sr.instr), count: counts[b],
+			})
+		}
+	}
+	mm.runIdxDone = true
+}
+
+// applyRun replays a compiled run entry: set and counter overwrites,
+// strided index finals, statistics and PMU sums. The state fingerprint
+// key guarantees each touched set currently holds the captured
+// pre-state, so every set restores by bulk copy plus a fingerprint
+// delta derived on the spot.
+func (mm *Memo) applyRun(m *Machine, re *runEntry) uint64 {
+	for i := range re.sets {
+		w := &re.sets[i]
+		var c *cache.Cache
+		switch w.level {
+		case 0:
+			c = m.l1i
+		case 1:
+			c = m.l1d
+		default:
+			c = m.l2
+		}
+		d := w.postFP ^ c.SetFingerprint(int(w.set))
+		c.RestoreSetStateDelta(int(w.set), w.tags, w.flags, w.rr, d)
+	}
+	for i := range re.bps {
+		m.bp.SetCounter(re.bps[i].addr, re.bps[i].ctr)
+	}
+	for i := range mm.runIdxs {
+		iw := &mm.runIdxs[i]
+		if iw.idxM != m {
+			iw.idxM, iw.idx = m, m.execIndexSlice(iw.b)
+		}
+		iw.idx[iw.instr] = iw.count
+	}
+	m.l1i.AddStats(re.l1iStat[0], re.l1iStat[1], re.l1iStat[2])
+	m.l1d.AddStats(re.l1dStat[0], re.l1dStat[1], re.l1dStat[2])
+	if m.l2 != nil {
+		m.l2.AddStats(re.l2Stat[0], re.l2Stat[1], re.l2Stat[2])
+	}
+	m.bp.AddStats(re.bpGood, re.bpBad)
+	m.counters.Instructions += re.instrs
+	m.counters.Branches += re.branches
+	m.counters.Writebacks += re.wbs
+	m.counters.Cycles += re.cycles
+	return re.cycles
+}
+
+// exec retires block b through the memo without positional context —
+// the ExecBlock entry point.
+func (mm *Memo) exec(m *Machine, b *kimage.Block, taken bool) uint64 {
+	return mm.retire(m, mm.info(m, b), nil, b, taken)
+}
+
+// execPos retires the block at one trace position, giving retire a
+// positional MRU slot to try before the bucket map. The branch
+// direction is a pure function of (block, successor block), so it is
+// cached alongside and both anchors are re-verified by pointer.
+func (mm *Memo) execPos(m *Machine, pc *posCache, trace []*kimage.Block, i int) uint64 {
+	b := trace[i]
+	var next *kimage.Block
+	if i+1 < len(trace) {
+		next = trace[i+1]
+	}
+	if pc.block != b || pc.next != next {
+		pc.block, pc.next = b, next
+		pc.taken = traceTaken(trace, i)
+		pc.bi = mm.info(m, b)
+		pc.last = nil
+		pc.idxM = nil
+	}
+	return mm.retire(m, pc.bi, pc, b, pc.taken)
+}
+
+// retire replays a cached outcome on a key hit, or runs the naive
+// engine and captures a new entry on a miss. Cycle accounting,
+// statistics and post-state are identical to the naive engine either
+// way — the differential tests hold it to that.
+func (mm *Memo) retire(m *Machine, bi *blockInfo, pc *posCache, b *kimage.Block, taken bool) uint64 {
+	// Assemble the key: strided phases, concrete data addresses, the
+	// touched-set lists and their fingerprints. Blocks without strided
+	// references use the set lists compiled on blockInfo — no execution
+	// indices, no address assembly, no deduplication.
+	mm.phases = mm.phases[:0]
+	l1dSets, l2Sets := bi.fixedL1DSets, bi.fixedL2Sets
+	var idx []uint64
+	if len(bi.strided) > 0 {
+		// Execution indices are only observable through strided
+		// references; the per-position cache remembers the machine's
+		// slice so the steady state skips the map lookup too.
+		if pc != nil && pc.idxM == m {
+			idx = pc.idx
+		} else {
+			idx = m.execIndexSlice(b)
+			if pc != nil {
+				pc.idxM, pc.idx = m, idx
+			}
+		}
+		for _, sr := range bi.strided {
+			mm.phases = append(mm.phases, uint32(idx[sr.instr]%uint64(sr.ref.Count)))
+		}
+		mm.dAddrs = append(mm.dAddrs[:0], bi.fixedAddrs...)
+		for k, sr := range bi.strided {
+			a := sr.ref.Base + mm.phases[k]*sr.ref.Stride
+			if !m.cfg.InDTCM(a) {
+				mm.dAddrs = append(mm.dAddrs, a)
+			}
+		}
+		mm.l1dSets = mm.l1dSets[:0]
+		for _, a := range mm.dAddrs {
+			mm.l1dSets = appendSetIfNew(mm.l1dSets, int32(m.l1d.Set(a)))
+		}
+		mm.l2Sets = mm.l2Sets[:0]
+		if m.l2 != nil {
+			for _, a := range bi.iAddrs {
+				mm.l2Sets = appendSetIfNew(mm.l2Sets, int32(m.l2.Set(a)))
+			}
+			for _, a := range mm.dAddrs {
+				mm.l2Sets = appendSetIfNew(mm.l2Sets, int32(m.l2.Set(a)))
+			}
+		}
+		l1dSets, l2Sets = mm.l1dSets, mm.l2Sets
+	}
+	branchCtr := m.bp.CounterAt(bi.branchAddr)
+	nfps := len(bi.iSets) + len(l1dSets) + len(l2Sets)
+
+	// Steady-state path: the entry served at this position last run
+	// predicts its successor, so periodic warm state (of any cycle
+	// length — round-robin pointers advance through multi-run cycles)
+	// resolves with one fully verified probe, touching neither the
+	// fingerprint scratch, the hash, nor the bucket map.
+	if pc != nil && pc.last != nil {
+		if e := pc.last.succ; e != nil &&
+			e.keyMatches(bi.id, taken, branchCtr, mm.phases, nfps) &&
+			stateMatch(m, bi, l1dSets, l2Sets, e) {
+			pc.last = e
+			return mm.serve(m, bi, e, idx)
+		}
+	}
+
+	mm.fps = mm.fps[:0]
+	for _, s := range bi.iSets {
+		mm.fps = append(mm.fps, m.l1i.SetFingerprint(int(s)))
+	}
+	for _, s := range l1dSets {
+		mm.fps = append(mm.fps, m.l1d.SetFingerprint(int(s)))
+	}
+	for _, s := range l2Sets {
+		mm.fps = append(mm.fps, m.l2.SetFingerprint(int(s)))
+	}
+
+	h := memoMix(0x5EEDFACE, bi.id)
+	if taken {
+		h = memoMix(h, 1)
+	} else {
+		h = memoMix(h, 2)
+	}
+	h = memoMix(h, uint64(branchCtr)+3)
+	for _, p := range mm.phases {
+		h = memoMix(h, uint64(p)+0x10000)
+	}
+	for _, fp := range mm.fps {
+		h = memoMix(h, fp)
+	}
+
+	for _, e := range mm.buckets[h] {
+		if e.matches(bi.id, taken, branchCtr, mm.phases, mm.fps) {
+			if pc != nil {
+				if pc.last != nil {
+					pc.last.succ = e
+				}
+				pc.last = e
+			}
+			return mm.serve(m, bi, e, idx)
+		}
+	}
+
+	// Miss: run the naive engine and capture the outcome.
+	mm.misses++
+	h1i0, m1i0, w1i0 := m.l1i.Stats()
+	h1d0, m1d0, w1d0 := m.l1d.Stats()
+	var h20, m20, w20 uint64
+	if m.l2 != nil {
+		h20, m20, w20 = m.l2.Stats()
+	}
+	good0, bad0 := m.bp.Stats()
+	wb0 := m.counters.Writebacks
+
+	cycles := m.execBlockNaive(b, taken)
+
+	e := &memoEntry{
+		blockID:   bi.id,
+		taken:     taken,
+		branchCtr: branchCtr,
+		phases:    append([]uint32(nil), mm.phases...),
+		fps:       append([]uint64(nil), mm.fps...),
+		cycles:    cycles,
+		wbDelta:   m.counters.Writebacks - wb0,
+		bpPost:    m.bp.CounterAt(bi.branchAddr),
+		l1dSets:   append([]int32(nil), l1dSets...),
+		l2Sets:    append([]int32(nil), l2Sets...),
+	}
+	h1i1, m1i1, w1i1 := m.l1i.Stats()
+	h1d1, m1d1, w1d1 := m.l1d.Stats()
+	e.l1iStat = [3]uint64{h1i1 - h1i0, m1i1 - m1i0, w1i1 - w1i0}
+	e.l1dStat = [3]uint64{h1d1 - h1d0, m1d1 - m1d0, w1d1 - w1d0}
+	if m.l2 != nil {
+		h21, m21, w21 := m.l2.Stats()
+		e.l2Stat = [3]uint64{h21 - h20, m21 - m20, w21 - w20}
+	}
+	good1, bad1 := m.bp.Stats()
+	e.bpGood, e.bpBad = good1-good0, bad1-bad0
+
+	for _, s := range bi.iSets {
+		var rr int32
+		e.l1iTags, e.l1iFlags, rr = m.l1i.AppendSetState(int(s), e.l1iTags, e.l1iFlags)
+		e.l1iRR = append(e.l1iRR, rr)
+	}
+	for _, s := range e.l1dSets {
+		var rr int32
+		e.l1dTags, e.l1dFlags, rr = m.l1d.AppendSetState(int(s), e.l1dTags, e.l1dFlags)
+		e.l1dRR = append(e.l1dRR, rr)
+	}
+	for _, s := range e.l2Sets {
+		var rr int32
+		e.l2Tags, e.l2Flags, rr = m.l2.AppendSetState(int(s), e.l2Tags, e.l2Flags)
+		e.l2RR = append(e.l2RR, rr)
+	}
+
+	// Capture each touched set's fingerprint delta (post XOR pre). A hit
+	// has just verified the pre-state fingerprints, so restore can apply
+	// the snapshot wholesale and advance the fingerprints by the delta
+	// instead of re-hashing lines. If every delta is zero and the branch
+	// counter is unchanged, future hits skip the restore entirely.
+	e.deltas = make([]uint64, 0, len(e.fps))
+	same := true
+	k := 0
+	for _, s := range bi.iSets {
+		d := m.l1i.SetFingerprint(int(s)) ^ e.fps[k]
+		e.deltas = append(e.deltas, d)
+		same = same && d == 0
+		k++
+	}
+	for _, s := range e.l1dSets {
+		d := m.l1d.SetFingerprint(int(s)) ^ e.fps[k]
+		e.deltas = append(e.deltas, d)
+		same = same && d == 0
+		k++
+	}
+	for _, s := range e.l2Sets {
+		d := m.l2.SetFingerprint(int(s)) ^ e.fps[k]
+		e.deltas = append(e.deltas, d)
+		same = same && d == 0
+		k++
+	}
+	e.noStateChange = same && e.bpPost == branchCtr
+	if mm.capturing && !e.noStateChange {
+		mm.capPairs = append(mm.capPairs, capPair{bi: bi, e: e})
+	}
+
+	mm.buckets[h] = append(mm.buckets[h], e)
+	if pc != nil {
+		if pc.last != nil {
+			pc.last.succ = e
+		}
+		pc.last = e
+	}
+	return cycles
+}
+
+// serve replays a cached entry onto the machine: strided execution
+// indices, touched state (unless the entry is a no-op), statistics and
+// PMU counters — the shared tail of the MRU and bucket hit paths.
+func (mm *Memo) serve(m *Machine, bi *blockInfo, e *memoEntry, idx []uint64) uint64 {
+	mm.hits++
+	// Advance the strided execution indices the naive engine would have
+	// advanced. (Fixed-reference indices are also bumped by the naive
+	// engine but never observed — Addr ignores them — so the hit path
+	// skips them.)
+	for _, sr := range bi.strided {
+		idx[sr.instr]++
+	}
+	if !e.noStateChange {
+		mm.restore(m, bi, e)
+		if mm.capturing {
+			mm.capPairs = append(mm.capPairs, capPair{bi: bi, e: e})
+		}
+	}
+	m.l1i.AddStats(e.l1iStat[0], e.l1iStat[1], e.l1iStat[2])
+	m.l1d.AddStats(e.l1dStat[0], e.l1dStat[1], e.l1dStat[2])
+	if m.l2 != nil {
+		m.l2.AddStats(e.l2Stat[0], e.l2Stat[1], e.l2Stat[2])
+	}
+	m.bp.AddStats(e.bpGood, e.bpBad)
+	m.counters.Instructions += bi.nInstr
+	m.counters.Branches++
+	m.counters.Writebacks += e.wbDelta
+	m.counters.Cycles += e.cycles
+	return e.cycles
+}
+
+// restore replays a cached entry's post-state onto the machine. The
+// caller has just verified the touched sets hold the entry's pre-state,
+// so each set restores by bulk copy plus its precomputed fingerprint
+// delta; pseudo-random caches fall back to the per-line walk (their set
+// fingerprints fold in the global LFSR, so the delta is not a pure
+// function of the set).
+func (mm *Memo) restore(m *Machine, bi *blockInfo, e *memoEntry) {
+	d := 0
+	w := m.l1i.Config().Ways
+	if m.l1i.Config().Policy != cache.PseudoRandom {
+		for k, s := range bi.iSets {
+			m.l1i.RestoreSetStateDelta(int(s), e.l1iTags[k*w:(k+1)*w], e.l1iFlags[k*w:(k+1)*w], e.l1iRR[k], e.deltas[d])
+			d++
+		}
+	} else {
+		for k, s := range bi.iSets {
+			m.l1i.RestoreSetState(int(s), e.l1iTags[k*w:(k+1)*w], e.l1iFlags[k*w:(k+1)*w], e.l1iRR[k])
+			d++
+		}
+	}
+	w = m.l1d.Config().Ways
+	if m.l1d.Config().Policy != cache.PseudoRandom {
+		for k, s := range e.l1dSets {
+			m.l1d.RestoreSetStateDelta(int(s), e.l1dTags[k*w:(k+1)*w], e.l1dFlags[k*w:(k+1)*w], e.l1dRR[k], e.deltas[d])
+			d++
+		}
+	} else {
+		for k, s := range e.l1dSets {
+			m.l1d.RestoreSetState(int(s), e.l1dTags[k*w:(k+1)*w], e.l1dFlags[k*w:(k+1)*w], e.l1dRR[k])
+			d++
+		}
+	}
+	if m.l2 != nil {
+		w = m.l2.Config().Ways
+		if m.l2.Config().Policy != cache.PseudoRandom {
+			for k, s := range e.l2Sets {
+				m.l2.RestoreSetStateDelta(int(s), e.l2Tags[k*w:(k+1)*w], e.l2Flags[k*w:(k+1)*w], e.l2RR[k], e.deltas[d])
+				d++
+			}
+		} else {
+			for k, s := range e.l2Sets {
+				m.l2.RestoreSetState(int(s), e.l2Tags[k*w:(k+1)*w], e.l2Flags[k*w:(k+1)*w], e.l2RR[k])
+				d++
+			}
+		}
+	}
+	m.bp.SetCounter(bi.branchAddr, e.bpPost)
+}

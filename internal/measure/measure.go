@@ -51,6 +51,56 @@ func PolluteSeed(base uint64, run int) uint32 {
 	return s
 }
 
+// CampaignSeed derives a campaign base seed from a root seed and a
+// campaign label. Like PolluteSeed it is a splitmix64 finaliser, taken
+// over (root, FNV-1a(label)): every named campaign sharing one root —
+// the per-configuration series of a benchmark sweep, say — draws from
+// its own well-mixed seed space, and the same (root, label) pair always
+// derives the same base, which is what makes `-bench-sim` artifacts
+// reproducible run-to-run. The derivation chain is fixed:
+//
+//	root ──CampaignSeed(label)──▶ base ──PolluteSeed(run)──▶ per-run seed
+//
+// (soak workers interpose their own splitmix sub-seed step between root
+// and base; see soak.Config.Seed). Never returns zero.
+func CampaignSeed(root uint64, label string) uint64 {
+	h := uint64(0xCBF29CE484222325) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 0x100000001B3
+	}
+	x := root ^ h
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 0x9E3779B97F4A7C15
+	}
+	return x
+}
+
+// Replayer carries the engine configuration measurement campaigns run
+// under. The zero value is the naive engine; setting Memo routes every
+// replay through the memoized block-retirement engine, shared across
+// the fresh per-run machines these helpers construct — which is where
+// the memo's speedup comes from. A Replayer (because its memo) is not
+// safe for concurrent use.
+type Replayer struct {
+	// Memo, when non-nil, is attached to every machine the replayer
+	// constructs.
+	Memo *machine.Memo
+}
+
+// apply attaches the replayer's engine configuration to a machine.
+func (r *Replayer) apply(m *machine.Machine) {
+	if r.Memo != nil {
+		m.SetMemo(r.Memo)
+	}
+}
+
 // Observe replays trace on a machine configured with hw, runs times,
 // each from a freshly polluted cache state (a different pollution seed
 // per run), and reports the distribution. The image's pin set is
@@ -66,6 +116,12 @@ func Observe(img *kimage.Image, hw arch.Config, trace []*kimage.Block, runs int)
 // for a fixed base and composable — two campaigns with different bases
 // never reuse a pollution state.
 func ObserveSeeded(img *kimage.Image, hw arch.Config, trace []*kimage.Block, runs int, base uint64) Observation {
+	return (&Replayer{}).ObserveSeeded(img, hw, trace, runs, base)
+}
+
+// ObserveSeeded is the package-level ObserveSeeded under the replayer's
+// engine configuration.
+func (r *Replayer) ObserveSeeded(img *kimage.Image, hw arch.Config, trace []*kimage.Block, runs int, base uint64) Observation {
 	if runs <= 0 {
 		runs = 1
 	}
@@ -76,6 +132,7 @@ func ObserveSeeded(img *kimage.Image, hw arch.Config, trace []*kimage.Block, run
 	for i := 0; i < runs; i++ {
 		m := machine.New(hw)
 		m.LoadImage(img)
+		r.apply(m)
 		m.Pollute(PolluteSeed(base, i))
 		c := m.Run(trace)
 		if c > o.Max {
@@ -97,8 +154,15 @@ func ObserveSeeded(img *kimage.Image, hw arch.Config, trace []*kimage.Block, run
 // probe: each search candidate is one PrimeSpec, and its fitness is the
 // cycles this returns.
 func ReplayPrimed(img *kimage.Image, hw arch.Config, trace []*kimage.Block, spec machine.PrimeSpec) uint64 {
+	return (&Replayer{}).ReplayPrimed(img, hw, trace, spec)
+}
+
+// ReplayPrimed is the package-level ReplayPrimed under the replayer's
+// engine configuration.
+func (r *Replayer) ReplayPrimed(img *kimage.Image, hw arch.Config, trace []*kimage.Block, spec machine.PrimeSpec) uint64 {
 	m := machine.New(hw)
 	m.LoadImage(img)
+	r.apply(m)
 	m.Prime(trace, spec)
 	return m.Run(trace)
 }
@@ -108,6 +172,12 @@ func ReplayPrimed(img *kimage.Image, hw arch.Config, trace []*kimage.Block, spec
 // specs), so a caller can both rank candidates and fold the campaign
 // into an Observation.
 func ObservePrimed(img *kimage.Image, hw arch.Config, trace []*kimage.Block, specs []machine.PrimeSpec) (Observation, []uint64) {
+	return (&Replayer{}).ObservePrimed(img, hw, trace, specs)
+}
+
+// ObservePrimed is the package-level ObservePrimed under the replayer's
+// engine configuration.
+func (r *Replayer) ObservePrimed(img *kimage.Image, hw arch.Config, trace []*kimage.Block, specs []machine.PrimeSpec) (Observation, []uint64) {
 	if len(specs) == 0 {
 		return Observation{}, nil
 	}
@@ -115,7 +185,7 @@ func ObservePrimed(img *kimage.Image, hw arch.Config, trace []*kimage.Block, spe
 	per := make([]uint64, len(specs))
 	var sum uint64
 	for i, spec := range specs {
-		c := ReplayPrimed(img, hw, trace, spec)
+		c := r.ReplayPrimed(img, hw, trace, spec)
 		per[i] = c
 		if c > o.Max {
 			o.Max = c
@@ -133,8 +203,15 @@ func ObservePrimed(img *kimage.Image, hw arch.Config, trace []*kimage.Block, spe
 // same machine and the second (warm) time is reported. This is the
 // fastpath-style measurement used for the IPC fastpath figure (§6.1).
 func ObserveWarm(img *kimage.Image, hw arch.Config, trace []*kimage.Block) uint64 {
+	return (&Replayer{}).ObserveWarm(img, hw, trace)
+}
+
+// ObserveWarm is the package-level ObserveWarm under the replayer's
+// engine configuration.
+func (r *Replayer) ObserveWarm(img *kimage.Image, hw arch.Config, trace []*kimage.Block) uint64 {
 	m := machine.New(hw)
 	m.LoadImage(img)
+	r.apply(m)
 	m.Run(trace)
 	return m.Run(trace)
 }

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestEmitBatchMatchesEmit: a batch must produce exactly the event
+// stream, kind counts, latency histograms, source attribution and
+// sample-hook firings that the equivalent Emit sequence does.
+func TestEmitBatchMatchesEmit(t *testing.T) {
+	seq := []Event{
+		{TS: 10, Kind: KindSchedPick, Arg1: 3, Op: OpSend},
+		{TS: 20, Kind: KindIRQRaise, Op: OpRetype},
+		{TS: 50, Kind: KindIRQService, Arg1: 30, Op: OpTick},
+		{TS: 60, Kind: KindReplay, Arg1: 500, Arg2: 12, Op: OpReplay},
+		{TS: 70, Kind: KindIRQRaise, Op: OpDelete},
+		{TS: 90, Kind: KindIRQService, Arg1: 20, Op: OpTick},
+	}
+
+	one := NewTracer(16)
+	var oneSamples []Sample
+	one.SetSampleHook(func(s Sample) { oneSamples = append(oneSamples, s) })
+	for _, e := range seq {
+		one.SetOp(e.Op)
+		one.Emit(e.Kind, e.TS, e.Arg1, e.Arg2)
+	}
+
+	batch := NewTracer(16)
+	var batchSamples []Sample
+	batch.SetSampleHook(func(s Sample) { batchSamples = append(batchSamples, s) })
+	batch.EmitBatch(seq)
+
+	oe, be := one.Events(), batch.Events()
+	if len(oe) != len(be) {
+		t.Fatalf("event counts differ: %d vs %d", len(oe), len(be))
+	}
+	for i := range oe {
+		if oe[i] != be[i] {
+			t.Fatalf("event %d: emit %+v batch %+v", i, oe[i], be[i])
+		}
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if one.Count(k) != batch.Count(k) {
+			t.Fatalf("count of %v: emit %d batch %d", k, one.Count(k), batch.Count(k))
+		}
+	}
+	ol, bl := one.Latencies(), batch.Latencies()
+	if ol.Count() != bl.Count() || ol.Max() != bl.Max() {
+		t.Fatalf("latency digests differ: %+v vs %+v", ol, bl)
+	}
+	osl, bsl := one.SourceLatencies(), batch.SourceLatencies()
+	if len(osl) != len(bsl) {
+		t.Fatalf("source latencies differ: %d sources vs %d", len(osl), len(bsl))
+	}
+	for i := range osl {
+		if osl[i].Source != bsl[i].Source || osl[i].Hist.Count() != bsl[i].Hist.Count() {
+			t.Fatalf("source %d differs: %+v vs %+v", i, osl[i], bsl[i])
+		}
+	}
+	if len(oneSamples) != len(batchSamples) {
+		t.Fatalf("hook firings differ: %d vs %d", len(oneSamples), len(batchSamples))
+	}
+	for i := range oneSamples {
+		if oneSamples[i] != batchSamples[i] {
+			t.Fatalf("sample %d: emit %+v batch %+v", i, oneSamples[i], batchSamples[i])
+		}
+	}
+	// The batch carries its own tags: the tracer's current op must be
+	// untouched (OpUser), unlike the Emit path which used SetOp.
+	if got := batch.Op(); got != OpUser {
+		t.Fatalf("EmitBatch clobbered the current op: %v", got)
+	}
+}
+
+// TestEmitBatchNil: nil tracer and empty batches are no-ops.
+func TestEmitBatchNil(t *testing.T) {
+	var tr *Tracer
+	tr.EmitBatch([]Event{{Kind: KindReplay}}) // must not panic
+	if tr.Op() != OpUser {
+		t.Fatal("nil tracer Op() should be OpUser")
+	}
+	tr2 := NewTracer(4)
+	tr2.EmitBatch(nil)
+	if tr2.Emitted() != 0 {
+		t.Fatal("empty batch emitted events")
+	}
+}

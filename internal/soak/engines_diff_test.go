@@ -1,0 +1,181 @@
+package soak
+
+import (
+	"context"
+	"testing"
+
+	"verikern/internal/kernel"
+	"verikern/internal/sched"
+)
+
+// engineConfigs is the differential matrix for the machine-replay
+// engines: both kernel generations, with and without the pinned
+// interrupt path (pinned ways exercise the cache's locked-way victim
+// selection, the memo's hardest invalidation case).
+func engineConfigs() []Config {
+	return []Config{
+		{
+			Label:  "benno+preempt+pinned",
+			Kernel: kernel.Config{Scheduler: sched.Benno, PreemptionPoints: true},
+			Pinned: true,
+		},
+		{
+			Label:  "benno+preempt",
+			Kernel: kernel.Config{Scheduler: sched.Benno, PreemptionPoints: true},
+		},
+		{
+			Label:  "lazy+nopreempt+pinned",
+			Kernel: kernel.Config{Scheduler: sched.Lazy, PreemptionPoints: false},
+			Pinned: true,
+		},
+		{
+			Label:  "lazy+nopreempt",
+			Kernel: kernel.Config{Scheduler: sched.Lazy, PreemptionPoints: false},
+		},
+	}
+}
+
+// TestEnginesDifferential is the headline differential harness: the
+// same seeded machine-replay soak, run once on the naive engine and
+// once on the memoized one, must be indistinguishable — byte-identical
+// event streams (timestamps included: replay events carry the
+// machine's own cycle counter), identical per-source latency digests,
+// identical simulated kernel time, and identical final machine state.
+// The memo must also actually serve hits, or the test proves nothing.
+func TestEnginesDifferential(t *testing.T) {
+	const ops = 200
+	for _, base := range engineConfigs() {
+		base := base
+		t.Run(base.Label, func(t *testing.T) {
+			base.Seed = 1234
+			base.RingCap = 1 << 17
+			base.MachineReplay = true
+			plan, err := BuildReplayPlan(context.Background(), base.withDefaults())
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(memo bool) *Runner {
+				cfg := base
+				cfg.Memo = memo
+				cfg.Replay = plan
+				rn, err := NewRunner(cfg, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := rn.Step(ops); err != nil {
+					t.Fatal(err)
+				}
+				return rn
+			}
+			naive, memo := run(false), run(true)
+
+			if naive.Replays() == 0 {
+				t.Fatal("no interrupt replays ran; the differential is vacuous")
+			}
+			if naive.Replays() != memo.Replays() {
+				t.Fatalf("replay counts diverged: naive %d, memo %d", naive.Replays(), memo.Replays())
+			}
+			st := memo.ReplayMachine().Memo().Stats()
+			if st.Hits == 0 {
+				t.Fatalf("memo served no hits over %d replays", memo.Replays())
+			}
+
+			ne := naive.Tracer().LastEvents(1 << 17)
+			me := memo.Tracer().LastEvents(1 << 17)
+			if len(ne) == 0 {
+				t.Fatal("no events retired")
+			}
+			if len(ne) != len(me) {
+				t.Fatalf("event counts diverged: naive %d, memo %d", len(ne), len(me))
+			}
+			for i := range ne {
+				if ne[i] != me[i] {
+					t.Fatalf("event %d diverged:\nnaive %+v\nmemo  %+v", i, ne[i], me[i])
+				}
+			}
+
+			nl, ml := naive.Tracer().SourceLatencies(), memo.Tracer().SourceLatencies()
+			if len(nl) != len(ml) {
+				t.Fatalf("source latency sets diverged: %d vs %d", len(nl), len(ml))
+			}
+			for i := range nl {
+				if nl[i].Source != ml[i].Source ||
+					nl[i].Hist.Count() != ml[i].Hist.Count() ||
+					nl[i].Hist.Max() != ml[i].Hist.Max() {
+					t.Fatalf("source %q digests diverged", nl[i].Source)
+				}
+			}
+
+			if naive.Kernel().Now() != memo.Kernel().Now() {
+				t.Fatalf("kernel time diverged: naive %d, memo %d",
+					naive.Kernel().Now(), memo.Kernel().Now())
+			}
+			nm, mm := naive.ReplayMachine(), memo.ReplayMachine()
+			if nm.Counters() != mm.Counters() {
+				t.Fatalf("machine counters diverged:\nnaive %+v\nmemo  %+v",
+					nm.Counters(), mm.Counters())
+			}
+			if !nm.StateEqual(mm) {
+				t.Fatalf("final machine state diverged:\nnaive:\n%s\nmemo:\n%s",
+					nm.StateString(), mm.StateString())
+			}
+		})
+	}
+}
+
+// TestMachineReplayDeterministic: a machine-replay soak is as
+// reproducible as a plain one — the same config replays the same
+// pollution sequence and lands on the identical final machine state.
+func TestMachineReplayDeterministic(t *testing.T) {
+	base := engineConfigs()[0]
+	base.Seed = 7
+	base.RingCap = 1 << 16
+	base.MachineReplay = true
+	base.Memo = true
+	plan, err := BuildReplayPlan(context.Background(), base.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Runner {
+		cfg := base
+		cfg.Replay = plan
+		rn, err := NewRunner(cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rn.Step(120); err != nil {
+			t.Fatal(err)
+		}
+		return rn
+	}
+	a, b := run(), run()
+	if a.Replays() != b.Replays() || a.Replays() == 0 {
+		t.Fatalf("replay counts: %d vs %d", a.Replays(), b.Replays())
+	}
+	if !a.ReplayMachine().StateEqual(b.ReplayMachine()) {
+		t.Fatal("identical configs landed on different machine states")
+	}
+	if a.Kernel().Now() != b.Kernel().Now() {
+		t.Fatal("identical configs disagree on simulated time")
+	}
+}
+
+// TestRunMachineReplayReport: the full Run pipeline resolves the
+// replay plan itself and surfaces the replay count in the report.
+func TestRunMachineReplayReport(t *testing.T) {
+	cfg := engineConfigs()[1]
+	cfg.Seed = 3
+	cfg.Ops = 150
+	cfg.MachineReplay = true
+	cfg.Memo = true
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replays == 0 {
+		t.Fatal("machine-replay run reported zero replays")
+	}
+	if rep.Bound.Violations != 0 {
+		t.Fatalf("%d bound violations under machine replay", rep.Bound.Violations)
+	}
+}

@@ -1,0 +1,55 @@
+package soak
+
+import (
+	"context"
+	"testing"
+
+	"verikern/internal/kernel"
+	"verikern/internal/machine"
+	"verikern/internal/measure"
+)
+
+// BenchmarkMemoWarmReplay and BenchmarkNaiveWarmReplay time the same
+// warm interrupt-path replay — the soak observatory's inner loop — on
+// the memoized and naive engines. Their ratio is the speedup
+// BENCH_sim.json reports; `kzm-sim -bench-sim` measures it across the
+// full image matrix.
+func BenchmarkMemoWarmReplay(b *testing.B) {
+	kcfg := kernel.Modern()
+	kcfg.PreemptionPoints = false
+	plan, err := BuildReplayPlan(context.Background(), Config{Kernel: kcfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := machine.New(plan.HW)
+	m.LoadImage(plan.Img)
+	memo := machine.NewMemo()
+	m.SetMemo(memo)
+	m.Pollute(measure.PolluteSeed(1, 0))
+	for i := 0; i < 3; i++ {
+		m.Run(plan.Trace)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(plan.Trace)
+	}
+}
+
+func BenchmarkNaiveWarmReplay(b *testing.B) {
+	kcfg := kernel.Modern()
+	kcfg.PreemptionPoints = false
+	plan, err := BuildReplayPlan(context.Background(), Config{Kernel: kcfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := machine.New(plan.HW)
+	m.LoadImage(plan.Img)
+	m.Pollute(measure.PolluteSeed(1, 0))
+	for i := 0; i < 3; i++ {
+		m.Run(plan.Trace)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(plan.Trace)
+	}
+}

@@ -1,0 +1,53 @@
+package soak
+
+import (
+	"context"
+	"fmt"
+
+	"verikern/internal/arch"
+	"verikern/internal/kbin"
+	"verikern/internal/kimage"
+	"verikern/internal/wcet"
+)
+
+// ReplayPlan carries the analysed artifacts a machine-replay soak
+// needs: the configuration's kernel image, the reconstructed worst-case
+// interrupt-path trace, and the hardware configuration the analysis ran
+// under. Building a plan runs the WCET pipeline, so Run/RunFor build it
+// once per configuration and every worker shares it (the plan itself is
+// read-only; each worker owns its private machine).
+type ReplayPlan struct {
+	// Img is the analysed kernel image.
+	Img *kimage.Image
+	// Trace is the interrupt entry's reconstructed worst-case path.
+	Trace []*kimage.Block
+	// HW is the hardware configuration of the analysis (pinned ways
+	// included when the config selects the pinned interrupt path).
+	HW arch.Config
+}
+
+// BuildReplayPlan analyses the configuration's kernel image and
+// returns the interrupt-path worst-case replay plan. Run and RunFor
+// call this once per configuration when Config.MachineReplay is set
+// without a pre-built plan; callers sweeping many soaks over one
+// configuration can build the plan themselves and share it.
+func BuildReplayPlan(ctx context.Context, cfg Config) (*ReplayPlan, error) {
+	img, cons, err := kbin.Build(kbin.Options{
+		Modernised: cfg.Kernel.PreemptionPoints,
+		Pinned:     cfg.Pinned,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("soak: building replay image: %w", err)
+	}
+	hw := arch.Config{}
+	if cfg.Pinned {
+		hw.PinnedL1Ways = 1
+	}
+	a := wcet.New(img, hw)
+	a.AddConstraints(cons...)
+	res, err := a.AnalyzeContext(ctx, kbin.EntryInterrupt)
+	if err != nil {
+		return nil, fmt.Errorf("soak: interrupt replay trace: %w", err)
+	}
+	return &ReplayPlan{Img: img, Trace: res.Trace, HW: hw}, nil
+}

@@ -24,6 +24,9 @@ type Report struct {
 	// SimCycles is the simulated time consumed, summed across
 	// workers.
 	SimCycles uint64
+	// Replays counts machine-replay executions across workers (zero
+	// unless Config.MachineReplay).
+	Replays uint64
 	// MaxLatency is the worst interrupt-response latency observed.
 	MaxLatency uint64
 	// Bound is the sentinel's merged verdict.
@@ -74,6 +77,7 @@ func report(cfg Config, runners []*Runner) *Report {
 		snap.AddTracer(rn.tracer)
 		r.Ops += rn.ops
 		r.SimCycles += rn.k.Now()
+		r.Replays += rn.replays
 		if m := rn.k.MaxLatency(); m > r.MaxLatency {
 			r.MaxLatency = m
 		}
@@ -97,6 +101,29 @@ func report(cfg Config, runners []*Runner) *Report {
 // stepChunk bounds how many ops run between context checks.
 const stepChunk = 256
 
+// resolve fills in the config's analysed artifacts: the sentinel's
+// WCET bound (unless pinned) and, for machine-replay soaks, the shared
+// interrupt-path replay plan. Both run the analysis pipeline at most
+// once per config.
+func resolve(ctx context.Context, cfg Config) (Config, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BoundCycles == 0 {
+		b, err := ComputeBound(ctx, cfg)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.BoundCycles = b
+	}
+	if cfg.MachineReplay && cfg.Replay == nil {
+		p, err := BuildReplayPlan(ctx, cfg)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Replay = p
+	}
+	return cfg, nil
+}
+
 // Run executes a full soak: it resolves the WCET bound (unless the
 // config pins one), boots cfg.Workers kernel instances with disjoint
 // sub-seeds, drives cfg.Ops operations split across them, and merges
@@ -104,13 +131,9 @@ const stepChunk = 256
 // operation chunks; the partial report is returned alongside the
 // context error.
 func Run(ctx context.Context, cfg Config) (*Report, error) {
-	cfg = cfg.withDefaults()
-	if cfg.BoundCycles == 0 {
-		b, err := ComputeBound(ctx, cfg)
-		if err != nil {
-			return nil, err
-		}
-		cfg.BoundCycles = b
+	cfg, err := resolve(ctx, cfg)
+	if err != nil {
+		return nil, err
 	}
 	runners := make([]*Runner, cfg.Workers)
 	for i := range runners {
@@ -168,13 +191,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 // seeded and deterministic; only how far each sequence gets depends on
 // the wall clock.
 func RunFor(ctx context.Context, cfg Config, wall time.Duration) (*Report, error) {
-	cfg = cfg.withDefaults()
-	if cfg.BoundCycles == 0 {
-		b, err := ComputeBound(ctx, cfg)
-		if err != nil {
-			return nil, err
-		}
-		cfg.BoundCycles = b
+	cfg, err := resolve(ctx, cfg)
+	if err != nil {
+		return nil, err
 	}
 	runners := make([]*Runner, cfg.Workers)
 	for i := range runners {

@@ -1,0 +1,25 @@
+package soak
+
+import "testing"
+
+// TestSubSeedGolden pins the worker sub-seed derivation (see the
+// companion goldens in internal/measure: the chain is
+// root → CampaignSeed/subSeed → PolluteSeed). Changing it silently
+// would re-randomise every recorded soak artifact.
+func TestSubSeedGolden(t *testing.T) {
+	cases := []struct {
+		seed uint64
+		w    int
+		want int64
+	}{
+		{0, 0, -2152535657050944081},
+		{0, 1, 7960286522194355700},
+		{1, 0, -7995527694508729151},
+		{42, 3, 6349198060258255764},
+	}
+	for _, c := range cases {
+		if got := subSeed(c.seed, c.w); got != c.want {
+			t.Errorf("subSeed(%d,%d) = %d, want %d", c.seed, c.w, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package verikern
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"verikern/internal/machine"
+	"verikern/internal/measure"
+	"verikern/internal/soak"
+)
+
+// DefaultSimBenchRuns is the timed replay count per engine per
+// configuration for `kzm-sim -bench-sim`.
+const DefaultSimBenchRuns = 2000
+
+// SimBenchEntry is one configuration's engine comparison: the same
+// warm interrupt-path replay workload timed on the naive and memoized
+// simulator engines. The engines are differentially proven identical
+// (internal/machine, internal/soak), so the entry reports pure
+// throughput: replays/sec, simulated cycles/sec, allocations per
+// replay, and the memo's hit rate.
+type SimBenchEntry struct {
+	// Label names the image configuration (kernel generation × pinning).
+	Label string `json:"label"`
+	// Pinned reports whether the L1 way-pinned image was replayed.
+	Pinned bool `json:"pinned"`
+	// TraceBlocks is the replayed worst-case trace's block count.
+	TraceBlocks int `json:"trace_blocks"`
+	// Runs is the timed replay count per engine.
+	Runs int `json:"runs"`
+	// CyclesPerRun is the simulated cost of one warm replay (identical
+	// across engines — SimReport fails if they ever disagree).
+	CyclesPerRun uint64 `json:"cycles_per_run"`
+	// NaiveOpsPerSec / MemoOpsPerSec are warm replays per wall second.
+	NaiveOpsPerSec float64 `json:"naive_ops_per_sec"`
+	MemoOpsPerSec  float64 `json:"memo_ops_per_sec"`
+	// NaiveCyclesPerSec / MemoCyclesPerSec are simulated cycles
+	// retired per wall second — the headline throughput axis.
+	NaiveCyclesPerSec float64 `json:"naive_cycles_per_sec"`
+	MemoCyclesPerSec  float64 `json:"memo_cycles_per_sec"`
+	// NaiveAllocsPerOp / MemoAllocsPerOp are heap allocations per
+	// replay (runtime.MemStats Mallocs delta over the timed loop).
+	NaiveAllocsPerOp float64 `json:"naive_allocs_per_op"`
+	MemoAllocsPerOp  float64 `json:"memo_allocs_per_op"`
+	// MemoHits / MemoMisses / HitRate summarise the memo's per-block
+	// lookup outcomes over warm-up plus the timed loop (a run-level hit
+	// counts every block in the trace as a hit).
+	MemoHits   uint64  `json:"memo_hits"`
+	MemoMisses uint64  `json:"memo_misses"`
+	HitRate    float64 `json:"hit_rate"`
+	// RunHits / RunMisses count whole-trace replays served by the
+	// run-level memo (one compiled replay instead of a block walk).
+	RunHits   uint64 `json:"run_hits"`
+	RunMisses uint64 `json:"run_misses"`
+	// Speedup is memo wall time over naive wall time, as naive/memo.
+	Speedup float64 `json:"speedup"`
+}
+
+// SimBench is the BENCH_sim.json document.
+type SimBench struct {
+	Seed    uint64          `json:"seed"`
+	Runs    int             `json:"runs"`
+	Configs []SimBenchEntry `json:"configs"`
+}
+
+// simWarmups is how many replays warm each engine's machine (and the
+// memo) before the timed loop, so the loop measures the steady state.
+const simWarmups = 3
+
+// simEngine times `runs` warm replays of the plan's trace on one
+// machine. A nil memo selects the naive engine. It returns the wall
+// time of the timed loop, the summed simulated cycles, and the heap
+// allocations the loop performed.
+func simEngine(plan *soak.ReplayPlan, base uint64, runs int, memo *machine.Memo) (elapsed time.Duration, cycles uint64, allocs uint64) {
+	m := machine.New(plan.HW)
+	m.LoadImage(plan.Img)
+	if memo != nil {
+		m.SetMemo(memo)
+	}
+	m.Pollute(measure.PolluteSeed(base, 0))
+	for i := 0; i < simWarmups; i++ {
+		m.Run(plan.Trace)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		cycles += m.Run(plan.Trace)
+	}
+	elapsed = time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed, cycles, after.Mallocs - before.Mallocs
+}
+
+// SimReport benchmarks the naive against the memoized simulator engine
+// over the four-image matrix: per configuration it analyses the
+// interrupt entry's worst-case trace once (the soak machine-replay
+// plan), then replays it warm `runs` times per engine from the same
+// campaign-derived pollution state. Per-run simulated cycles must
+// agree exactly between engines — a disagreement is an engine bug and
+// fails the report rather than skewing it.
+func SimReport(ctx context.Context, seed uint64, runs int) (*SimBench, error) {
+	if runs <= 0 {
+		runs = DefaultSimBenchRuns
+	}
+	doc := &SimBench{Seed: seed, Runs: runs}
+	for _, pc := range ProbeConfigs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		plan, err := soak.BuildReplayPlan(ctx, soak.Config{
+			Label:  pc.Name,
+			Kernel: pc.Kernel,
+			Pinned: pc.Pinned,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench-sim %s: %w", pc.Name, err)
+		}
+		base := measure.CampaignSeed(seed, pc.Name)
+
+		nElapsed, nCycles, nAllocs := simEngine(plan, base, runs, nil)
+		memo := machine.NewMemo()
+		mElapsed, mCycles, mAllocs := simEngine(plan, base, runs, memo)
+		if nCycles != mCycles {
+			return nil, fmt.Errorf("bench-sim %s: engines disagree: naive %d cycles, memo %d",
+				pc.Name, nCycles, mCycles)
+		}
+		st := memo.Stats()
+		e := SimBenchEntry{
+			Label:             pc.Name,
+			Pinned:            pc.Pinned,
+			TraceBlocks:       len(plan.Trace),
+			Runs:              runs,
+			CyclesPerRun:      nCycles / uint64(runs),
+			NaiveOpsPerSec:    perSec(float64(runs), nElapsed),
+			MemoOpsPerSec:     perSec(float64(runs), mElapsed),
+			NaiveCyclesPerSec: perSec(float64(nCycles), nElapsed),
+			MemoCyclesPerSec:  perSec(float64(mCycles), mElapsed),
+			NaiveAllocsPerOp:  float64(nAllocs) / float64(runs),
+			MemoAllocsPerOp:   float64(mAllocs) / float64(runs),
+			MemoHits:          st.Hits,
+			MemoMisses:        st.Misses,
+			HitRate:           st.HitRate(),
+			RunHits:           st.RunHits,
+			RunMisses:         st.RunMisses,
+		}
+		if mElapsed > 0 {
+			e.Speedup = float64(nElapsed) / float64(mElapsed)
+		}
+		doc.Configs = append(doc.Configs, e)
+	}
+	return doc, nil
+}
+
+// perSec divides a count by a duration, guarding the zero-duration
+// corner of very fast loops.
+func perSec(n float64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return n / d.Seconds()
+}
+
+// FormatSimBench renders the engine benchmark as the text table
+// cmd/kzm-sim prints.
+func FormatSimBench(doc *SimBench) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Simulator engine benchmark: %d warm interrupt-path replays per engine (seed %d)\n",
+		doc.Runs, doc.Seed)
+	fmt.Fprintf(&b, "%-24s %12s %12s %9s %8s %9s %9s\n",
+		"config", "naive Mcyc/s", "memo Mcyc/s", "speedup", "hit%", "allocs/op", "blocks")
+	for _, e := range doc.Configs {
+		fmt.Fprintf(&b, "%-24s %12.1f %12.1f %8.1fx %7.1f%% %9.2f %9d\n",
+			e.Label, e.NaiveCyclesPerSec/1e6, e.MemoCyclesPerSec/1e6,
+			e.Speedup, 100*e.HitRate, e.MemoAllocsPerOp, e.TraceBlocks)
+	}
+	return b.String()
+}
+
+// WriteSimBench serialises the engine benchmark as the BENCH_sim.json
+// artifact.
+func WriteSimBench(w io.Writer, doc *SimBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,80 @@
+package verikern
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestSimReportEnginesAgree is the CI smoke for kzm-sim -bench-sim: a
+// small-run SimReport must cover the full image matrix, agree on
+// simulated cycles between engines (SimReport fails internally
+// otherwise), serve from the memo, and round-trip through the
+// BENCH_sim.json encoding.
+func TestSimReportEnginesAgree(t *testing.T) {
+	doc, err := SimReport(context.Background(), 42, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(ProbeConfigs()); len(doc.Configs) != want {
+		t.Fatalf("report covers %d configs, want %d", len(doc.Configs), want)
+	}
+	for _, e := range doc.Configs {
+		if e.CyclesPerRun == 0 {
+			t.Errorf("%s: zero cycles per run", e.Label)
+		}
+		if e.TraceBlocks == 0 {
+			t.Errorf("%s: empty worst-case trace", e.Label)
+		}
+		if e.MemoHits == 0 {
+			t.Errorf("%s: memo never hit on a warm replay loop", e.Label)
+		}
+		if e.HitRate <= 0.5 {
+			t.Errorf("%s: warm hit rate %.2f, want > 0.5", e.Label, e.HitRate)
+		}
+		if e.RunHits == 0 {
+			t.Errorf("%s: run-level memo never hit on identical warm replays", e.Label)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSimBench(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	var back SimBench
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("BENCH_sim.json does not parse back: %v", err)
+	}
+	if back.Seed != doc.Seed || len(back.Configs) != len(doc.Configs) {
+		t.Fatalf("round-trip mangled the document: %+v", back)
+	}
+	if FormatSimBench(doc) == "" {
+		t.Fatal("empty benchmark table")
+	}
+}
+
+// TestMemoNotSlower is the performance regression guard: on the warm
+// interrupt-path replay workload the memoized engine must not be
+// slower than the naive engine. The acceptance target is >=3x
+// (BENCH_sim.json reports ~an order of magnitude); the test asserts
+// only a 2x-noise-margin floor — memo wall time at most twice naive —
+// so CI scheduling jitter cannot flake it while a real regression
+// (memo slower than naive) still fails.
+func TestMemoNotSlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+	doc, err := SimReport(context.Background(), 7, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range doc.Configs {
+		if e.Speedup < 0.5 {
+			t.Errorf("%s: memo %.2fx vs naive — memoized engine has regressed far below naive",
+				e.Label, e.Speedup)
+		}
+		t.Logf("%s: %.1fx speedup, %.1f%% hit rate, %d run hits, %.2f allocs/op (memo) vs %.2f (naive)",
+			e.Label, e.Speedup, 100*e.HitRate, e.RunHits, e.MemoAllocsPerOp, e.NaiveAllocsPerOp)
+	}
+}
