@@ -58,6 +58,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"time"
 
 	"verikern"
@@ -72,6 +73,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("kzm-sim: ")
 	variantName := flag.String("variant", "modern", "kernel variant: modern or original")
+	archName := flag.String("arch", "arm1136", "hardware backend: one of "+strings.Join(verikern.Architectures(), ", "))
 	waiters := flag.Int("waiters", 256, "threads queued on the victim endpoint")
 	period := flag.Uint64("period", 40_000, "timer interrupt period in cycles")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of kernel events")
@@ -93,18 +95,23 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	backend, err := arch.Lookup(*archName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	if *benchSim {
-		runBenchSim(ctx, *seed, *benchSimRuns, *benchSimOut)
+		runBenchSim(ctx, *seed, *benchSimRuns, *benchSimOut, backend.ID)
 		return
 	}
 
 	if *probeMode {
-		runProbe(ctx, *seed, *probeBudget, *tightnessOut)
+		runProbe(ctx, *seed, *probeBudget, *tightnessOut, backend.ID)
 		return
 	}
 
 	if *soakSpec != "" || *benchOut != "" {
-		runSoak(ctx, *soakSpec, *variantName, *seed, *pinned, *soakWorkers, *serveAddr, *benchOut)
+		runSoak(ctx, *soakSpec, *variantName, *seed, *pinned, *soakWorkers, *serveAddr, *benchOut, backend.ID)
 		return
 	}
 
@@ -149,7 +156,7 @@ func main() {
 				}
 			}
 			fmt.Printf("  %-28s IRQs=%d worst latency=%d cycles (%.1f µs)\n",
-				name, n, worst, verikern.CyclesToMicros(worst))
+				name, n, worst, backend.CyclesToMicros(worst))
 		}
 	}
 
@@ -211,7 +218,7 @@ func main() {
 	// Report.
 	stats := sys.Stats()
 	fmt.Printf("\nkernel:        %s\n", variant)
-	fmt.Printf("cycles run:    %d (%.2f ms simulated)\n", sys.Now(), verikern.CyclesToMicros(sys.Now())/1000)
+	fmt.Printf("cycles run:    %d (%.2f ms simulated)\n", sys.Now(), backend.CyclesToMicros(sys.Now())/1000)
 	fmt.Printf("syscalls:      %d (%d restarts, %d preemption points hit)\n",
 		stats.Syscalls, stats.Restarts, stats.Preemptions)
 	fmt.Printf("IRQs serviced: %d\n", stats.IRQsServiced)
@@ -226,9 +233,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Timestamps are cycles on the 532 MHz clock; scale them so
+		// Timestamps are cycles on the backend's clock; scale them so
 		// the viewer's time axis reads in real microseconds.
-		if err := tracer.WriteChromeTrace(f, arch.ClockHz/1e6); err != nil {
+		if err := tracer.WriteChromeTrace(f, float64(backend.ClockHz)/1e6); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -243,7 +250,7 @@ func main() {
 // runSoak is the latency-observatory mode. spec is an op count or a
 // wall duration; empty means "default ops" (used when only -bench-out
 // is given).
-func runSoak(ctx context.Context, spec, variantName string, seed uint64, pinned bool, workers int, serveAddr, benchOut string) {
+func runSoak(ctx context.Context, spec, variantName string, seed uint64, pinned bool, workers int, serveAddr, benchOut, archID string) {
 	ops, wall, err := parseSoakSpec(spec)
 	if err != nil {
 		log.Fatal(err)
@@ -261,6 +268,7 @@ func runSoak(ctx context.Context, spec, variantName string, seed uint64, pinned 
 	}
 	cfg := soak.Config{
 		Label:   label,
+		Arch:    archID,
 		Seed:    seed,
 		Ops:     ops,
 		Workers: workers,
@@ -284,7 +292,7 @@ func runSoak(ctx context.Context, spec, variantName string, seed uint64, pinned 
 	}
 
 	if benchOut != "" {
-		reps, err := verikern.SoakReport(ctx, seed, ops)
+		reps, err := verikern.SoakReportArch(ctx, seed, ops, archID)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -309,8 +317,8 @@ func runSoak(ctx context.Context, spec, variantName string, seed uint64, pinned 
 // runProbe is the adversarial-probe mode: the directed search over
 // the full preemption × pinning matrix, a tightness table on stdout
 // and optionally the BENCH_tightness.json artifact.
-func runProbe(ctx context.Context, seed uint64, budget int, out string) {
-	reps, err := verikern.TightnessReport(ctx, seed, budget)
+func runProbe(ctx context.Context, seed uint64, budget int, out, archID string) {
+	reps, err := verikern.TightnessReportArch(ctx, seed, budget, archID)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -342,8 +350,8 @@ func runProbe(ctx context.Context, seed uint64, budget int, out string) {
 // throughput over the image matrix, a table on stdout and optionally
 // the BENCH_sim.json artifact. The report itself fails if the engines
 // ever disagree on simulated cycles.
-func runBenchSim(ctx context.Context, seed uint64, runs int, out string) {
-	doc, err := verikern.SimReport(ctx, seed, runs)
+func runBenchSim(ctx context.Context, seed uint64, runs int, out, archID string) {
+	doc, err := verikern.SimReportArch(ctx, seed, runs, archID)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	paper [-runs N] [-table 1|2] [-figure 8|9] [-headline]
-//	      [-ablations] [-json] [-trace out.json]
+//	      [-arch arm1136|cva6rt] [-ablations] [-json] [-trace out.json]
 package main
 
 import (
@@ -18,8 +18,10 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 
 	"verikern"
+	"verikern/internal/arch"
 	"verikern/internal/obs"
 )
 
@@ -27,6 +29,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paper: ")
 	runs := flag.Int("runs", verikern.DefaultRuns, "measurement runs per observed value")
+	archName := flag.String("arch", "arm1136", "hardware backend: one of "+strings.Join(verikern.Architectures(), ", ")+" (non-ARM backends print the cross-architecture bounds table)")
 	table := flag.Int("table", 0, "print only this table (1 or 2)")
 	figure := flag.Int("figure", 0, "print only this figure (8 or 9)")
 	headline := flag.Bool("headline", false, "print only the headline latency")
@@ -45,6 +48,23 @@ func main() {
 		metrics = obs.NewMetrics()
 		verikern.ObservePipeline(metrics)
 		defer writePipelineTrace(metrics, *tracePath)
+	}
+
+	backend, err := arch.Lookup(*archName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if backend.ID != arch.ARM1136ID {
+		// The paper's tables and figures are ARM1136/KZM artifacts
+		// (L2 and branch-predictor sweeps the other backends lack);
+		// for any other backend, print the architecture-portable
+		// bounds table instead.
+		rows, err := verikern.ArchBounds(ctx, backend.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(verikern.FormatArchBounds(rows))
+		return
 	}
 
 	if *asJSON {

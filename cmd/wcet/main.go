@@ -6,6 +6,7 @@
 // Usage:
 //
 //	wcet [-entry handleSyscall] [-all] [-variant modern|original]
+//	     [-arch arm1136|cva6rt]
 //	     [-l2] [-bpred] [-pin] [-observe N] [-trace] [-hot N]
 //	     [-lp] [-verify] [-obligations] [-dump] [-timings]
 package main
@@ -17,8 +18,10 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 
 	"verikern"
+	"verikern/internal/arch"
 )
 
 func main() {
@@ -27,6 +30,7 @@ func main() {
 	entry := flag.String("entry", string(verikern.Syscall), "entry point to analyse")
 	all := flag.Bool("all", false, "analyse every entry point, in the image's deterministic order")
 	variantName := flag.String("variant", "modern", "kernel variant: modern or original")
+	archName := flag.String("arch", "arm1136", "hardware backend: one of "+strings.Join(verikern.Architectures(), ", "))
 	l2 := flag.Bool("l2", false, "enable the L2 cache")
 	bpred := flag.Bool("bpred", false, "enable the branch predictor")
 	pin := flag.Bool("pin", false, "enable L1 cache pinning")
@@ -50,11 +54,11 @@ func main() {
 		log.Fatalf("unknown variant %q", *variantName)
 	}
 
-	im, err := verikern.BuildImage(variant, *pin)
+	im, err := verikern.BuildImageArch(variant, *pin, *archName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	hw := verikern.Hardware{L2Enabled: *l2, BranchPredictor: *bpred}
+	hw := verikern.Hardware{Arch: im.Arch, L2Enabled: *l2, BranchPredictor: *bpred}
 	if *pin {
 		hw.PinnedL1Ways = 1
 	}
@@ -82,7 +86,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("kernel:       %s%s\n", variant, pinSuffix(*pin))
-		fmt.Printf("hardware:     L2=%v branch-predictor=%v pinned-ways=%d\n", *l2, *bpred, hw.PinnedL1Ways)
+		fmt.Printf("hardware:     arch=%s L2=%v branch-predictor=%v pinned-ways=%d\n", im.Arch, *l2, *bpred, hw.PinnedL1Ways)
 		fmt.Printf("%-24s %12s %10s %8s %8s\n", "entry", "cycles", "µs", "blocks", "ilp-vars")
 		for _, b := range bounds {
 			fmt.Printf("%-24s %12d %10.1f %8d %8d\n",
@@ -103,8 +107,8 @@ func main() {
 	r := bd.Result
 
 	fmt.Printf("entry:        %s (%s kernel%s)\n", *entry, variant, pinSuffix(*pin))
-	fmt.Printf("hardware:     L2=%v branch-predictor=%v pinned-ways=%d\n", *l2, *bpred, hw.PinnedL1Ways)
-	fmt.Printf("bound:        %d cycles = %.1f µs @532 MHz\n", bd.Cycles, bd.Micros)
+	fmt.Printf("hardware:     arch=%s L2=%v branch-predictor=%v pinned-ways=%d\n", im.Arch, *l2, *bpred, hw.PinnedL1Ways)
+	fmt.Printf("bound:        %d cycles = %.1f µs\n", bd.Cycles, bd.Micros)
 	fmt.Printf("cfg:          %d inlined nodes, %d loops\n", len(r.Graph.Nodes), len(r.Graph.Loops))
 	if *timings {
 		fmt.Printf("ilp:          %d variables, %d constraints, solved in %v\n",
@@ -146,7 +150,7 @@ func main() {
 		obs := im.Observe(hw, bd, *observe)
 		fmt.Printf("\nobserved over %d polluted runs:\n", obs.Runs)
 		fmt.Printf("  max:  %d cycles = %.1f µs  (ratio %.2f)\n",
-			obs.Max, verikern.CyclesToMicros(obs.Max), float64(bd.Cycles)/float64(obs.Max))
+			obs.Max, arch.MustLookup(im.Arch).CyclesToMicros(obs.Max), float64(bd.Cycles)/float64(obs.Max))
 		fmt.Printf("  mean: %.0f cycles\n", obs.Mean)
 		fmt.Printf("  min:  %d cycles\n", obs.Min)
 	}

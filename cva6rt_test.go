@@ -1,0 +1,126 @@
+package verikern
+
+import (
+	"context"
+	"testing"
+
+	"verikern/internal/arch"
+	"verikern/internal/kernel"
+	"verikern/internal/probe"
+	"verikern/internal/soak"
+)
+
+// TestCVA6RTEndToEnd is the acceptance gate for the second backend:
+// soak and probe campaigns on cva6rt, across the preemption × pinning
+// matrix, must complete with every observed maximum within its
+// computed bound — the same soundness contract the ARM1136 pipeline
+// honours, on a core with different timing, caches and a nonzero
+// architectural interrupt-entry cost.
+func TestCVA6RTEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	for _, pp := range []bool{false, true} {
+		for _, pin := range []bool{false, true} {
+			kcfg := kernel.Modern()
+			kcfg.CheckInvariants = false
+			kcfg.PreemptionPoints = pp
+
+			rep, err := soak.Run(ctx, soak.Config{
+				Label:  "cva6rt-e2e",
+				Arch:   arch.CVA6RTID,
+				Seed:   7,
+				Ops:    400,
+				Kernel: kcfg,
+				Pinned: pin,
+			})
+			if err != nil {
+				t.Fatalf("soak pp=%v pin=%v: %v", pp, pin, err)
+			}
+			if rep.Bound.Cycles == 0 {
+				t.Fatalf("soak pp=%v pin=%v: no bound resolved", pp, pin)
+			}
+			if rep.Bound.Violations != 0 {
+				t.Errorf("soak pp=%v pin=%v: %d samples over the %d-cycle bound (max %d)",
+					pp, pin, rep.Bound.Violations, rep.Bound.Cycles, rep.MaxLatency)
+			}
+			if rep.Arch != arch.CVA6RTID {
+				t.Errorf("soak pp=%v pin=%v: report arch %q", pp, pin, rep.Arch)
+			}
+
+			prep, err := probe.Run(ctx, probe.Config{
+				Label:  "cva6rt-e2e",
+				Arch:   arch.CVA6RTID,
+				Seed:   7,
+				Budget: 24,
+				Kernel: kcfg,
+				Pinned: pin,
+			})
+			if err != nil {
+				t.Fatalf("probe pp=%v pin=%v: %v", pp, pin, err)
+			}
+			if prep.Violations != 0 {
+				t.Errorf("probe pp=%v pin=%v: %d observations exceeded their bound", pp, pin, prep.Violations)
+			}
+			if prep.Arch != arch.CVA6RTID {
+				t.Errorf("probe pp=%v pin=%v: report arch %q", pp, pin, prep.Arch)
+			}
+			for _, e := range prep.Entries {
+				if e.BoundCycles == 0 {
+					t.Errorf("probe pp=%v pin=%v %s: zero bound", pp, pin, e.Name)
+				}
+				if e.ObservedMax > e.BoundCycles {
+					t.Errorf("probe pp=%v pin=%v %s: observed %d > bound %d",
+						pp, pin, e.Name, e.ObservedMax, e.BoundCycles)
+				}
+			}
+		}
+	}
+}
+
+// TestCVA6RTBoundIncludesEntryCost: the composed interrupt-response
+// bound on cva6rt must carry the backend's architectural entry cost on
+// top of the analysed syscall + interrupt paths — the constant the
+// direct-vectoring design contributes and ARM1136 (cost zero, modelled
+// in the image) does not.
+func TestCVA6RTBoundIncludesEntryCost(t *testing.T) {
+	ctx := context.Background()
+	im, err := BuildImageArch(Modern, false, arch.CVA6RTID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := Hardware{Arch: arch.CVA6RTID}
+	sys, err := im.AnalyzeContext(ctx, hw, Syscall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	irq, err := im.AnalyzeContext(ctx, hw, Interrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kcfg := kernel.Modern()
+	kcfg.CheckInvariants = false
+	bound, err := soak.ComputeBound(ctx, soak.Config{Arch: arch.CVA6RTID, Kernel: kcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := arch.MustLookup(arch.CVA6RTID).InterruptEntryCost(hw)
+	if entry == 0 {
+		t.Fatal("cva6rt entry cost is zero; the composition term is untested")
+	}
+	if want := sys.Cycles + irq.Cycles + entry; bound != want {
+		t.Fatalf("composed bound %d != syscall %d + interrupt %d + entry %d",
+			bound, sys.Cycles, irq.Cycles, entry)
+	}
+}
+
+// TestAnalyzeRejectsBackendMismatch: analysing an image under a
+// hardware config for a different backend is a category error the
+// pipeline must refuse, not silently mis-time.
+func TestAnalyzeRejectsBackendMismatch(t *testing.T) {
+	im, err := BuildImageArch(Modern, false, arch.CVA6RTID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := im.AnalyzeContext(context.Background(), Hardware{}, Interrupt); err == nil {
+		t.Fatal("cva6rt image analysed under an arm1136 hardware config without error")
+	}
+}

@@ -601,6 +601,70 @@ func ExperimentMatrix(ctx context.Context) ([]MatrixCell, error) {
 	return cells, nil
 }
 
+// ArchBoundsRow is one row of the cross-architecture bounds table: one
+// entry point's computed WCET on one hardware backend, with and
+// without the §4 pin set, in the backend's baseline configuration.
+type ArchBoundsRow struct {
+	Arch         string     `json:"arch"`
+	Entry        EntryPoint `json:"entry"`
+	Cycles       uint64     `json:"cycles"`
+	Micros       float64    `json:"micros"`
+	PinnedCycles uint64     `json:"pinned_cycles"`
+	PinnedMicros float64    `json:"pinned_micros"`
+}
+
+// ArchBounds computes the modern kernel's per-entry WCET bounds on one
+// hardware backend, plain and way-pinned, in the backend's baseline
+// configuration (no L2, no dynamic prediction — the features the
+// backends disagree on). It is the architecture-portable core of
+// Table 1: the ARM1136 rows reproduce that table's cycle counts.
+func ArchBounds(ctx context.Context, archID string) ([]ArchBoundsRow, error) {
+	plain, err := BuildImageArch(Modern, false, archID)
+	if err != nil {
+		return nil, err
+	}
+	pinned, err := BuildImageArch(Modern, true, archID)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ArchBoundsRow
+	for _, e := range EntryPoints() {
+		u, err := plain.AnalyzeContext(ctx, Hardware{Arch: plain.Arch}, e)
+		if err != nil {
+			return nil, err
+		}
+		p, err := pinned.AnalyzeContext(ctx, Hardware{Arch: pinned.Arch, PinnedL1Ways: 1}, e)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ArchBoundsRow{
+			Arch:         plain.Arch,
+			Entry:        e,
+			Cycles:       u.Cycles,
+			Micros:       u.Micros,
+			PinnedCycles: p.Cycles,
+			PinnedMicros: p.Micros,
+		})
+	}
+	return rows, nil
+}
+
+// FormatArchBounds renders one backend's bounds table.
+func FormatArchBounds(rows []ArchBoundsRow) string {
+	var b strings.Builder
+	if len(rows) > 0 {
+		be := arch.MustLookup(rows[0].Arch)
+		fmt.Fprintf(&b, "Computed WCET on %s (%s), baseline config, plain vs L1 way-pinned\n",
+			be.ID, be.Desc)
+	}
+	fmt.Fprintf(&b, "%-24s %12s %10s %12s %10s\n", "Event handler", "cycles", "µs", "pinned cyc", "µs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %12d %10.1f %12d %10.1f\n",
+			r.Entry.Label(), r.Cycles, r.Micros, r.PinnedCycles, r.PinnedMicros)
+	}
+	return b.String()
+}
+
 // machineFor builds a machine configured like hw with the image's pin
 // set applied, for ad-hoc exploration from cmd tools.
 func machineFor(im *Image, hw Hardware) *machine.Machine {
@@ -644,12 +708,22 @@ func SoakConfigs() []SoakConfig {
 // the given seed and returns one report per configuration, in matrix
 // order. Each configuration's WCET bound is computed once through the
 // analysis pipeline; every interrupt-response sample is checked
-// against it live.
+// against it live. The matrix runs on the default ARM1136 backend;
+// SoakReportArch selects another.
 func SoakReport(ctx context.Context, seed, ops uint64) ([]*soak.Report, error) {
+	return SoakReportArch(ctx, seed, ops, "")
+}
+
+// SoakReportArch is SoakReport on an explicit hardware backend
+// ("arm1136", "cva6rt", ...; empty means ARM1136): the sentinel bound
+// is analysed for that backend's image and timing model, and each
+// worker's op stream is drawn from a backend-mixed seed.
+func SoakReportArch(ctx context.Context, seed, ops uint64, archID string) ([]*soak.Report, error) {
 	var reps []*soak.Report
 	for _, sc := range SoakConfigs() {
 		rep, err := soak.Run(ctx, soak.Config{
 			Label:   sc.Name,
+			Arch:    archID,
 			Seed:    seed,
 			Ops:     ops,
 			Workers: 2,
@@ -734,10 +808,17 @@ func ProbeConfigs() []ProbeConfig {
 // observation exceeded its computed bound — an analysis soundness bug;
 // the acceptance tests gate on it.
 func TightnessReport(ctx context.Context, seed uint64, budget int) ([]*probe.Report, error) {
+	return TightnessReportArch(ctx, seed, budget, "")
+}
+
+// TightnessReportArch is TightnessReport on an explicit hardware
+// backend ("arm1136", "cva6rt", ...; empty means ARM1136).
+func TightnessReportArch(ctx context.Context, seed uint64, budget int, archID string) ([]*probe.Report, error) {
 	var reps []*probe.Report
 	for _, pc := range ProbeConfigs() {
 		rep, err := probe.Run(ctx, probe.Config{
 			Label:   pc.Name,
+			Arch:    archID,
 			Seed:    seed,
 			Budget:  budget,
 			Kernel:  pc.Kernel,

@@ -182,8 +182,17 @@ const (
 )
 
 // Config selects the platform features that the paper varies in its
-// evaluation (§5.1, §6.4).
+// evaluation (§5.1, §6.4), on a particular backend.
 type Config struct {
+	// Arch names the hardware backend the configuration applies to
+	// (see Backend and the registry in backend.go). The empty string
+	// selects the default ARM1136 backend, so the zero Config keeps
+	// its historical meaning. Config stays a flat comparable value:
+	// backends are resolved by name through the registry, never
+	// embedded, so Configs remain usable as map keys, memo bindings
+	// and fingerprint inputs.
+	Arch string
+
 	// L2Enabled enables the unified L2 cache. Disabling it lowers
 	// the memory latency from 96 to 60 cycles.
 	L2Enabled bool
@@ -229,10 +238,22 @@ func (c Config) InDTCM(addr uint32) bool {
 }
 
 // MemLatency returns the main-memory access latency for the
-// configuration.
+// configuration on its backend.
 func (c Config) MemLatency() uint64 {
-	if c.L2Enabled {
-		return LatencyMemL2On
+	b := c.Backend()
+	if c.L2Enabled && b.HasL2 {
+		return b.LatMemL2On
 	}
-	return LatencyMemL2Off
+	return b.LatMemL2Off
+}
+
+// Backend resolves the configuration's hardware backend. The empty
+// Arch resolves to the default ARM1136 backend; an unknown name panics
+// — resolving it to anything else would silently time the wrong
+// machine. User-facing code validates names with Lookup first.
+func (c Config) Backend() *Backend {
+	if c.Arch == "" {
+		return ARM1136
+	}
+	return MustLookup(c.Arch)
 }

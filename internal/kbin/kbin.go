@@ -46,6 +46,11 @@ type Options struct {
 	// memory instead (§5.1's alternative to way-locking), using the
 	// link-order placement the paper avoided for pinning.
 	TCM bool
+	// Arch names the hardware backend to lay the image out for (see
+	// internal/arch's registry); empty selects the default ARM1136
+	// backend. The backend fixes the link base, line size and the L1
+	// geometries the pin sets are fitted to.
+	Arch string
 }
 
 // Entry point names in the built image.
@@ -85,7 +90,14 @@ const (
 // Build constructs the linked image and the §5.2 user constraints that
 // exclude its infeasible cross-switch paths.
 func Build(o Options) (*kimage.Image, []wcet.UserConstraint, error) {
-	b := &builder{img: kimage.New(), o: o}
+	be, err := arch.Lookup(o.Arch)
+	if err != nil {
+		return nil, nil, err
+	}
+	if o.TCM && !be.HasTCM {
+		return nil, nil, fmt.Errorf("kbin: backend %s has no tightly-coupled memory", be.ID)
+	}
+	b := &builder{img: kimage.NewFor(be), o: o}
 	b.data()
 	b.helpers()
 	b.scheduler()
@@ -115,7 +127,7 @@ func TCMConfig(img *kimage.Image) (itcmBase, dtcmBase uint32, err error) {
 	if !ok {
 		return 0, 0, fmt.Errorf("kbin: image has no irqctl symbol")
 	}
-	return arch.KernelBase, irqctl, nil
+	return img.Backend().KernelBase, irqctl, nil
 }
 
 type builder struct {
@@ -568,6 +580,8 @@ func (b *builder) entries() {
 // the cache, without resorting to code placement optimisations".
 func (b *builder) pin() {
 	img := b.img
+	be := img.Backend()
+	line := uint32(be.LineBytes)
 	var lines []uint32
 	for _, fn := range []string{"entrySave", "irqDispatch", "chooseThread", "exitRestore", EntryInterrupt} {
 		f := img.Funcs[fn]
@@ -575,30 +589,30 @@ func (b *builder) pin() {
 			if blk.NumInstrs() == 0 {
 				continue
 			}
-			start := blk.Addr &^ uint32(arch.LineBytes-1)
+			start := blk.Addr &^ (line - 1)
 			end := blk.InstrAddr(blk.NumInstrs() - 1)
-			for a := start; a <= end; a += arch.LineBytes {
+			for a := start; a <= end; a += line {
 				lines = append(lines, a)
 			}
 		}
 	}
-	img.PinLines(fitOneWay(lines, arch.L1IGeometry)...)
+	img.PinLines(fitOneWay(lines, be.L1I)...)
 
 	var data []uint32
 	// First 256 bytes of stack.
-	for off := uint32(0); off < 256; off += arch.LineBytes {
+	for off := uint32(0); off < 256; off += line {
 		data = append(data, b.stack+off)
 	}
 	// Key data: interrupt controller, scheduler bitmap, first run
-	// queues, fault table.
-	data = append(data, b.irqctl, b.irqctl+32, b.bitmap, b.bitmap+32,
-		b.runq, b.runq+32, b.faultTbl, b.faultTbl+32)
+	// queues, fault table (each spilling into its second line).
+	data = append(data, b.irqctl, b.irqctl+line, b.bitmap, b.bitmap+line,
+		b.runq, b.runq+line, b.faultTbl, b.faultTbl+line)
 	// IPC message buffers: fixed 480-byte regions whose transfer
 	// loops dominate the syscall path's pinnable cost.
-	for off := uint32(0); off < 4*msgWords; off += arch.LineBytes {
+	for off := uint32(0); off < 4*msgWords; off += line {
 		data = append(data, b.msgSrc+off, b.msgDst+off)
 	}
-	img.PinData(fitOneWay(data, arch.L1DGeometry)...)
+	img.PinData(fitOneWay(data, be.L1D)...)
 }
 
 // fitOneWay deduplicates the candidate line addresses and keeps at most

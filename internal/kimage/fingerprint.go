@@ -45,6 +45,12 @@ func (img *Image) computeFingerprint() string {
 		h.Write([]byte(s))
 	}
 
+	// The backend identity (id + version) is part of the digest:
+	// images for different backends — or the same backend after a
+	// timing-model revision — must never share cached analysis
+	// results, even when their code content is identical.
+	writeStr(img.Backend().Key())
+
 	for _, e := range img.Entries {
 		writeStr(e)
 	}

@@ -149,18 +149,38 @@ type Image struct {
 	nextCode uint32
 	nextData uint32
 	symbols  map[string]uint32
+	backend  *arch.Backend
 	fp       fingerprintState
 }
 
-// New returns an empty image with code placed from the kernel base and
-// data from the kernel heap base.
+// New returns an empty image for the default ARM1136 backend with code
+// placed from the kernel base and data from the kernel heap base.
 func New() *Image {
+	return NewFor(arch.ARM1136)
+}
+
+// NewFor returns an empty image laid out for backend b's address map:
+// code placed from b.KernelBase, data from b.KernelHeapBase. The
+// backend participates in the image fingerprint, so analyses of the
+// same kernel on different backends can never share cached results.
+func NewFor(b *arch.Backend) *Image {
 	return &Image{
 		Funcs:    make(map[string]*Func),
-		nextCode: arch.KernelBase,
-		nextData: arch.KernelHeapBase,
+		nextCode: b.KernelBase,
+		nextData: b.KernelHeapBase,
 		symbols:  make(map[string]uint32),
+		backend:  b,
 	}
+}
+
+// Backend returns the backend the image is laid out for; images
+// constructed without one (zero values in tests) report the default
+// ARM1136 backend.
+func (img *Image) Backend() *arch.Backend {
+	if img.backend == nil {
+		return arch.ARM1136
+	}
+	return img.backend
 }
 
 // AddFunc adds a function. It panics on duplicate names: images are
@@ -180,8 +200,8 @@ func (img *Image) Data(name string, size uint32) uint32 {
 	if a, ok := img.symbols[name]; ok {
 		return a
 	}
-	const align = arch.LineBytes
-	img.nextData = (img.nextData + align - 1) &^ uint32(align-1)
+	align := uint32(img.Backend().LineBytes)
+	img.nextData = (img.nextData + align - 1) &^ (align - 1)
 	a := img.nextData
 	img.nextData += size
 	img.symbols[name] = a
@@ -218,11 +238,12 @@ func (img *Image) Link() error {
 	sort.Strings(rest)
 	names = append(names, rest...)
 	addr := img.nextCode
+	line := uint32(img.Backend().LineBytes)
 	for _, n := range names {
 		f := img.Funcs[n]
 		// Align each function to a cache line, as a compiler
 		// would.
-		addr = (addr + arch.LineBytes - 1) &^ uint32(arch.LineBytes-1)
+		addr = (addr + line - 1) &^ (line - 1)
 		for _, b := range f.Blocks {
 			b.Addr = addr
 			addr += uint32(4 * len(b.Instrs))
@@ -238,7 +259,7 @@ func (img *Image) Link() error {
 }
 
 // CodeBytes reports the total size of the linked text segment.
-func (img *Image) CodeBytes() uint32 { return img.nextCode - arch.KernelBase }
+func (img *Image) CodeBytes() uint32 { return img.nextCode - img.Backend().KernelBase }
 
 func (img *Image) validate() error {
 	for _, f := range img.Funcs {
@@ -296,9 +317,10 @@ func (img *Image) PinData(addrs ...uint32) {
 // PinnedCodeSet returns the pinned instruction lines as a set keyed by
 // line address.
 func (img *Image) PinnedCodeSet() map[uint32]bool {
+	line := uint32(img.Backend().LineBytes)
 	s := make(map[uint32]bool, len(img.PinnedLines))
 	for _, a := range img.PinnedLines {
-		s[a&^uint32(arch.LineBytes-1)] = true
+		s[a&^(line-1)] = true
 	}
 	return s
 }
@@ -306,9 +328,10 @@ func (img *Image) PinnedCodeSet() map[uint32]bool {
 // PinnedDataSet returns the pinned data lines as a set keyed by line
 // address.
 func (img *Image) PinnedDataSet() map[uint32]bool {
+	line := uint32(img.Backend().LineBytes)
 	s := make(map[uint32]bool, len(img.PinnedData))
 	for _, a := range img.PinnedData {
-		s[a&^uint32(arch.LineBytes-1)] = true
+		s[a&^(line-1)] = true
 	}
 	return s
 }
@@ -317,6 +340,7 @@ func (img *Image) PinnedDataSet() map[uint32]bool {
 // segment, the set locked into the L2 under the kernel-locking
 // configuration.
 func (img *Image) CodeLines() []uint32 {
+	line := uint32(img.Backend().LineBytes)
 	seen := make(map[uint32]bool)
 	var out []uint32
 	for _, f := range img.Funcs {
@@ -324,9 +348,9 @@ func (img *Image) CodeLines() []uint32 {
 			if len(b.Instrs) == 0 {
 				continue
 			}
-			start := b.Addr &^ uint32(arch.LineBytes-1)
+			start := b.Addr &^ (line - 1)
 			end := b.InstrAddr(len(b.Instrs) - 1)
-			for a := start; a <= end; a += arch.LineBytes {
+			for a := start; a <= end; a += line {
 				if !seen[a] {
 					seen[a] = true
 					out = append(out, a)

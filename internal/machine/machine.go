@@ -36,6 +36,7 @@ type Counters struct {
 // Machine simulates the platform. Construct with New.
 type Machine struct {
 	cfg arch.Config
+	b   *arch.Backend
 	l1i *cache.Cache
 	l1d *cache.Cache
 	l2  *cache.Cache
@@ -72,9 +73,16 @@ func (m *Machine) SetMemo(mm *Memo) {
 func (m *Machine) Memo() *Memo { return m.memo }
 
 // New constructs a machine for the platform configuration. Cache
-// geometries are fixed by the platform (arch); cfg selects L2
-// enablement, branch prediction and the number of locked L1 ways.
+// geometries are fixed by the configuration's backend; cfg selects the
+// backend plus L2 enablement, branch prediction and the number of
+// locked L1 ways. New panics on a configuration its backend rejects
+// (e.g. L2Enabled on a backend without an L2): silently simulating a
+// machine that cannot exist would desynchronise observation and bound.
 func New(cfg arch.Config) *Machine {
+	b := cfg.Backend()
+	if err := b.ValidateConfig(cfg); err != nil {
+		panic(err)
+	}
 	mk := func(g arch.CacheGeometry, locked int) *cache.Cache {
 		ways := g.Ways
 		if cfg.TCMEnabled {
@@ -94,9 +102,10 @@ func New(cfg arch.Config) *Machine {
 	}
 	m := &Machine{
 		cfg: cfg,
-		l1i: mk(arch.L1IGeometry, cfg.PinnedL1Ways),
-		l1d: mk(arch.L1DGeometry, cfg.PinnedL1Ways),
-		bp:  pipeline.NewPredictor(cfg.BranchPredictor, 9),
+		b:   b,
+		l1i: mk(b.L1I, cfg.PinnedL1Ways),
+		l1d: mk(b.L1D, cfg.PinnedL1Ways),
+		bp:  pipeline.NewPredictorArch(b, cfg.BranchPredictor, 9),
 	}
 	if cfg.L2Enabled {
 		locked := 0
@@ -106,7 +115,7 @@ func New(cfg arch.Config) *Machine {
 			// paper's 36 KiB binary.
 			locked = 4
 		}
-		m.l2 = mk(arch.L2Geometry, locked)
+		m.l2 = mk(b.L2, locked)
 	}
 	return m
 }
@@ -237,23 +246,23 @@ func (m *Machine) memAccess(l1 *cache.Cache, addr uint32, write bool) uint64 {
 	if r1.Writeback {
 		m.counters.Writebacks++
 		if m.l2 == nil {
-			cost += arch.LatencyMemL2Off / 8
+			cost += m.b.LatMemL2Off / 8
 		} else {
-			cost += arch.LatencyL2Hit / 4
+			cost += m.b.LatL2Hit / 4
 		}
 	}
 	if m.l2 == nil {
-		return cost + arch.LatencyMemL2Off
+		return cost + m.b.LatMemL2Off
 	}
 	r2 := m.l2.Access(addr, write)
 	if r2.Hit {
-		return cost + arch.LatencyL2Hit
+		return cost + m.b.LatL2Hit
 	}
 	if r2.Writeback {
 		m.counters.Writebacks++
-		cost += arch.LatencyMemL2On / 8
+		cost += m.b.LatMemL2On / 8
 	}
-	return cost + arch.LatencyMemL2On
+	return cost + m.b.LatMemL2On
 }
 
 // execIndexSlice returns block b's execution-index slice, allocating a
@@ -312,7 +321,7 @@ func (m *Machine) execBlockNaive(b *kimage.Block, taken bool) uint64 {
 	for i := range b.Instrs {
 		ins := &b.Instrs[i]
 		m.counters.Instructions++
-		cycles += arch.BaseCost(ins.Class)
+		cycles += m.b.BaseCost(ins.Class)
 		if fa := b.InstrAddr(i); !m.cfg.InITCM(fa) {
 			cycles += m.memAccess(m.l1i, fa, false)
 		}

@@ -82,6 +82,21 @@ func CampaignSeed(root uint64, label string) uint64 {
 	return x
 }
 
+// ArchSeed mixes a hardware backend's identity into a root seed. The
+// default ARM1136 backend is the identity — historical seed labels,
+// pinned seed-derivation tests and recorded campaigns stay bit-exact —
+// while every other backend remaps the root through CampaignSeed over
+// its id. A two-backend sweep sharing one seed label therefore drives
+// each timing model with a distinct op/pollution stream instead of
+// silently replaying the same stream under different clocks. Never
+// returns zero for non-default backends (CampaignSeed's guarantee).
+func ArchSeed(root uint64, b *arch.Backend) uint64 {
+	if b == nil || b.ID == arch.ARM1136ID {
+		return root
+	}
+	return CampaignSeed(root, "arch/"+b.ID)
+}
+
 // Replayer carries the engine configuration measurement campaigns run
 // under. The zero value is the naive engine; setting Memo routes every
 // replay through the memoized block-retirement engine, shared across

@@ -73,6 +73,9 @@ type Snapshot struct {
 	// Label identifies the run configuration (e.g.
 	// "benno+preempt+pinned").
 	Label string `json:"label,omitempty"`
+	// Arch names the hardware backend the run simulated (e.g.
+	// "arm1136", "cva6rt").
+	Arch string `json:"arch,omitempty"`
 	// Seed is the workload seed the run is reproducible from.
 	Seed uint64 `json:"seed"`
 	// Workers is the number of parallel kernel instances aggregated.

@@ -22,16 +22,34 @@ type Predictor struct {
 	mask     uint32
 	hits     uint64
 	misses   uint64
+
+	// Branch outcome costs, taken from the backend the predictor was
+	// constructed for.
+	noPredict  uint64
+	predicted  uint64
+	mispredict uint64
 }
 
-// NewPredictor constructs a predictor with 2^bits entries. If enabled
-// is false, Branch always charges the constant no-predictor cost.
+// NewPredictor constructs a predictor with 2^bits entries for the
+// default ARM1136 backend. If enabled is false, Branch always charges
+// the constant no-predictor cost.
 func NewPredictor(enabled bool, bits uint) *Predictor {
+	return NewPredictorArch(arch.ARM1136, enabled, bits)
+}
+
+// NewPredictorArch constructs a predictor with 2^bits entries charging
+// backend b's branch costs. On backends without a dynamic predictor
+// (b.HasDynamicPredictor false) the predictor is forced disabled and
+// every branch costs the backend's constant no-predict cost.
+func NewPredictorArch(b *arch.Backend, enabled bool, bits uint) *Predictor {
 	n := 1 << bits
 	p := &Predictor{
-		enabled:  enabled,
-		counters: make([]uint8, n),
-		mask:     uint32(n - 1),
+		enabled:    enabled && b.HasDynamicPredictor,
+		counters:   make([]uint8, n),
+		mask:       uint32(n - 1),
+		noPredict:  b.BranchNoPredict,
+		predicted:  b.BranchPredicted,
+		mispredict: b.BranchMispredict,
 	}
 	// Counters start weakly not-taken, so a cold predictor
 	// mispredicts taken branches — the cold-cache measurement
@@ -46,7 +64,7 @@ func (p *Predictor) Enabled() bool { return p.enabled }
 // returning its cost in cycles and updating predictor state.
 func (p *Predictor) Branch(addr uint32, taken bool) uint64 {
 	if !p.enabled {
-		return arch.BranchCostNoPredict
+		return p.noPredict
 	}
 	idx := (addr >> 2) & p.mask
 	ctr := &p.counters[idx]
@@ -62,10 +80,10 @@ func (p *Predictor) Branch(addr uint32, taken bool) uint64 {
 	}
 	if predictTaken == taken {
 		p.hits++
-		return arch.BranchCostPredicted
+		return p.predicted
 	}
 	p.misses++
-	return arch.BranchCostMispredict
+	return p.mispredict
 }
 
 // Mistrain saturates the counter for the branch at addr in the
@@ -172,12 +190,11 @@ func (p *Predictor) Reset() {
 }
 
 // WorstBranchCost returns the per-branch cost bound the static analyser
-// must assume under a configuration: the constant 5 cycles with the
-// predictor disabled, or the 7-cycle misprediction bound with it
-// enabled (the analyser cannot model predictor state, §5.1).
+// must assume under a configuration on the default ARM1136 backend: the
+// constant 5 cycles with the predictor disabled, or the 7-cycle
+// misprediction bound with it enabled (the analyser cannot model
+// predictor state, §5.1). Backend-aware callers use
+// (*arch.Backend).WorstBranchCost.
 func WorstBranchCost(predictorEnabled bool) uint64 {
-	if predictorEnabled {
-		return arch.BranchCostMispredict
-	}
-	return arch.BranchCostNoPredict
+	return arch.ARM1136.WorstBranchCost(predictorEnabled)
 }

@@ -45,6 +45,11 @@ import (
 type Config struct {
 	// Label names the configuration (e.g. "benno+preempt+pinned").
 	Label string
+	// Arch selects the hardware backend the probe builds, analyses
+	// and measures against ("" means arch.ARM1136ID). The search's
+	// rng streams mix the backend id (identity for the default, so
+	// historical ARM1136 trajectories are unchanged).
+	Arch string
 	// Seed makes the search reproducible.
 	Seed uint64
 	// Budget is the total evaluation budget: half is split evenly
@@ -119,6 +124,7 @@ type Entry struct {
 // Report is one configuration's probe outcome.
 type Report struct {
 	Label   string  `json:"label"`
+	Arch    string  `json:"arch"`
 	Pinned  bool    `json:"pinned"`
 	Seed    uint64  `json:"seed"`
 	Budget  int     `json:"budget"`
@@ -152,14 +158,19 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		ctx = context.Background()
 	}
 
+	backend, err := arch.Lookup(cfg.Arch)
+	if err != nil {
+		return nil, fmt.Errorf("probe %s: %w", cfg.Label, err)
+	}
 	img, cons, err := kbin.Build(kbin.Options{
 		Modernised: cfg.Kernel.PreemptionPoints,
 		Pinned:     cfg.Pinned,
+		Arch:       cfg.Arch,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("probe %s: building image: %w", cfg.Label, err)
 	}
-	hw := arch.Config{}
+	hw := arch.Config{Arch: cfg.Arch}
 	if cfg.Pinned {
 		hw.PinnedL1Ways = 1
 	}
@@ -168,7 +179,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	a.Cache = cfg.Cache
 	a.Metrics = cfg.Metrics
 
-	rep := &Report{Label: cfg.Label, Pinned: cfg.Pinned, Seed: cfg.Seed, Budget: cfg.Budget}
+	// The machine-layer searches draw from a backend-mixed root so a
+	// two-backend probe matrix explores distinct priming trajectories;
+	// identity for ARM1136 keeps historical reports byte-identical.
+	seedRoot := measure.ArchSeed(cfg.Seed, backend)
+
+	rep := &Report{Label: cfg.Label, Arch: backend.ID, Pinned: cfg.Pinned, Seed: cfg.Seed, Budget: cfg.Budget}
 
 	// Budget split: half across the four machine-layer entries, half
 	// for the kernel-layer genome search.
@@ -202,7 +218,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		case kbin.EntryInterrupt:
 			irqBound = res.Cycles
 		}
-		rng := rand.New(rand.NewSource(int64(cfg.Seed) ^ int64(i+1)*0x9E3779B9))
+		rng := rand.New(rand.NewSource(int64(seedRoot) ^ int64(i+1)*0x9E3779B9))
 		e := searchMachine(replayer, img, hw, res, perEntry, rng, cfg.Metrics)
 		e.Name = name
 		if e.ObservedMax > e.BoundCycles {
@@ -211,7 +227,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		rep.Entries = append(rep.Entries, e)
 	}
 
-	ke, status, caps, err := searchKernel(cfg, sysBound+irqBound, kernelBudget)
+	// The kernel-layer bound composes as the soak sentinel's does:
+	// syscall + interrupt path + the backend's architectural
+	// interrupt-entry cost (zero on ARM1136, whose entry sequence the
+	// image itself models).
+	kernelBound := sysBound + irqBound + backend.InterruptEntryCost(hw)
+	ke, status, caps, err := searchKernel(cfg, seedRoot, kernelBound, kernelBudget)
 	if err != nil {
 		return nil, fmt.Errorf("probe %s: kernel-layer search: %w", cfg.Label, err)
 	}

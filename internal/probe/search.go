@@ -102,9 +102,10 @@ type kernelSearch struct {
 // genome, all against one persistent runner whose sentinel checks
 // every sample against the composed interrupt-response bound and
 // captures the flight recorder on each new maximum.
-func searchKernel(cfg Config, bound uint64, budget int) (Entry, obs.BoundStatus, []soak.Capture, error) {
+func searchKernel(cfg Config, seedRoot, bound uint64, budget int) (Entry, obs.BoundStatus, []soak.Capture, error) {
 	rn, err := soak.NewRunner(soak.Config{
 		Label:         cfg.Label,
+		Arch:          cfg.Arch,
 		Seed:          cfg.Seed,
 		Kernel:        cfg.Kernel,
 		Pinned:        cfg.Pinned,
@@ -118,7 +119,7 @@ func searchKernel(cfg Config, bound uint64, budget int) (Entry, obs.BoundStatus,
 	}
 	s := &kernelSearch{
 		rn:      rn,
-		rng:     rand.New(rand.NewSource(int64(cfg.Seed) ^ 0x5DEECE66D)),
+		rng:     rand.New(rand.NewSource(int64(seedRoot) ^ 0x5DEECE66D)),
 		pool:    cfg.PoolThreads,
 		metrics: cfg.Metrics,
 	}

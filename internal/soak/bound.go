@@ -14,18 +14,22 @@ import (
 // sentinel checks live samples against: the system-call bound (the
 // longest non-preemptible stretch an interrupt can land behind) plus
 // the interrupt-path bound, as composed by the paper's headline number
-// (§6). The kernel generation is taken from the functional config's
-// PreemptionPoints flag — the modernised image carries the §3
-// restructuring, the original image the monolithic walks.
+// (§6), plus the backend's architectural interrupt-entry cost (zero on
+// ARM1136, whose entry sequence the image models; a constant on
+// CVA6-RT's direct-vectoring path). The kernel generation is taken
+// from the functional config's PreemptionPoints flag — the modernised
+// image carries the §3 restructuring, the original image the
+// monolithic walks.
 func ComputeBound(ctx context.Context, cfg Config) (uint64, error) {
 	img, cons, err := kbin.Build(kbin.Options{
 		Modernised: cfg.Kernel.PreemptionPoints,
 		Pinned:     cfg.Pinned,
+		Arch:       cfg.Arch,
 	})
 	if err != nil {
 		return 0, fmt.Errorf("soak: building image: %w", err)
 	}
-	hw := arch.Config{}
+	hw := arch.Config{Arch: cfg.Arch}
 	if cfg.Pinned {
 		hw.PinnedL1Ways = 1
 	}
@@ -39,5 +43,5 @@ func ComputeBound(ctx context.Context, cfg Config) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("soak: interrupt bound: %w", err)
 	}
-	return sys.Cycles + irq.Cycles, nil
+	return sys.Cycles + irq.Cycles + hw.Backend().InterruptEntryCost(hw), nil
 }

@@ -35,11 +35,12 @@ func BuildReplayPlan(ctx context.Context, cfg Config) (*ReplayPlan, error) {
 	img, cons, err := kbin.Build(kbin.Options{
 		Modernised: cfg.Kernel.PreemptionPoints,
 		Pinned:     cfg.Pinned,
+		Arch:       cfg.Arch,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("soak: building replay image: %w", err)
 	}
-	hw := arch.Config{}
+	hw := arch.Config{Arch: cfg.Arch}
 	if cfg.Pinned {
 		hw.PinnedL1Ways = 1
 	}

@@ -15,9 +15,10 @@ import (
 // snapshot (event counts, overall and per-source latency digests,
 // sentinel status) plus the flight-recorder captures.
 type Report struct {
-	// Label, Seed, Workers and Ops echo the configuration actually
-	// run.
+	// Label, Arch, Seed, Workers and Ops echo the configuration
+	// actually run (Arch resolved to the backend id, never empty).
 	Label   string
+	Arch    string
 	Seed    uint64
 	Workers int
 	Ops     uint64
@@ -46,7 +47,7 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: %d ops, %d workers, seed %d\n", r.Label, r.Ops, r.Workers, r.Seed)
 	fmt.Fprintf(&b, "  irq samples %d, max %d cycles (%.1f µs)",
-		r.Snapshot.IRQ.Count, r.MaxLatency, arch.CyclesToMicros(r.MaxLatency))
+		r.Snapshot.IRQ.Count, r.MaxLatency, arch.MustLookup(r.Arch).CyclesToMicros(r.MaxLatency))
 	if r.Bound.Cycles > 0 {
 		fmt.Fprintf(&b, ", bound %d: %d violations, %d near-max, %d captures",
 			r.Bound.Cycles, r.Bound.Violations, r.Bound.NearMax, r.Bound.Captures)
@@ -63,12 +64,15 @@ func (r *Report) String() string {
 // index order so the result is deterministic regardless of goroutine
 // scheduling.
 func report(cfg Config, runners []*Runner) *Report {
+	backend := arch.MustLookup(cfg.Arch)
 	snap := obs.NewSnapshot()
 	snap.Label = cfg.Label
+	snap.Arch = backend.ID
 	snap.Seed = cfg.Seed
 	snap.Workers = len(runners)
 	r := &Report{
 		Label:   cfg.Label,
+		Arch:    backend.ID,
 		Seed:    cfg.Seed,
 		Workers: len(runners),
 	}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"verikern/internal/arch"
 	"verikern/internal/kernel"
 	"verikern/internal/kobj"
 	"verikern/internal/machine"
@@ -33,6 +34,13 @@ import (
 type Config struct {
 	// Label names the configuration (e.g. "benno+preempt+pinned").
 	Label string
+	// Arch names the hardware backend (internal/arch registry) that
+	// the sentinel bound, the machine replays and the seed derivation
+	// run against; empty selects the default ARM1136 backend. The
+	// backend id is mixed into every derived seed (measure.ArchSeed),
+	// so a two-backend sweep sharing one Seed drives each timing
+	// model with a distinct op stream.
+	Arch string
 	// Seed makes the workload reproducible; workers derive disjoint
 	// sub-seeds from it.
 	Seed uint64
@@ -295,6 +303,14 @@ type deepChain struct {
 // check).
 func NewRunner(cfg Config, index int) (*Runner, error) {
 	cfg = cfg.withDefaults()
+	backend, err := arch.Lookup(cfg.Arch)
+	if err != nil {
+		return nil, fmt.Errorf("soak: %w", err)
+	}
+	// The backend identity folds into the campaign seed root before
+	// any derivation (identity for the default ARM1136 backend), so
+	// per-backend soaks sharing a seed label draw distinct streams.
+	seedRoot := measure.ArchSeed(cfg.Seed, backend)
 	k, err := kernel.New(cfg.Kernel)
 	if err != nil {
 		return nil, err
@@ -306,7 +322,7 @@ func NewRunner(cfg Config, index int) (*Runner, error) {
 		index:  index,
 		k:      k,
 		tracer: tr,
-		rng:    rand.New(rand.NewSource(subSeed(cfg.Seed, index))),
+		rng:    rand.New(rand.NewSource(subSeed(seedRoot, index))),
 	}
 	r.sent = newSentinel(tr, cfg.BoundCycles, cfg.MarginPercent, cfg.FlightEvents, cfg.MaxCaptures, cfg.CaptureNewMax)
 	hook := r.sent.sample
@@ -324,7 +340,7 @@ func NewRunner(cfg Config, index int) (*Runner, error) {
 			m.SetMemo(machine.NewMemo())
 		}
 		r.replayM = m
-		r.replaySeed = measure.CampaignSeed(cfg.Seed,
+		r.replaySeed = measure.CampaignSeed(seedRoot,
 			fmt.Sprintf("%s/machine-replay/w%d", cfg.Label, index))
 		plan := cfg.Replay
 		hook = func(sm obs.Sample) {

@@ -5,7 +5,6 @@ import (
 	"verikern/internal/cache"
 	"verikern/internal/cfg"
 	"verikern/internal/kimage"
-	"verikern/internal/pipeline"
 )
 
 // absState is the abstract cache state at a program point: must-caches
@@ -38,10 +37,11 @@ func (s absState) join(o absState) bool {
 // computed bounds worsen when the L2 is turned on (Table 2) even
 // though average-case performance improves.
 func missCost(hw arch.Config) uint64 {
+	b := hw.Backend()
 	if hw.L2Enabled {
-		return arch.LatencyMemL2On + arch.LatencyL2Hit/2 + arch.LatencyMemL2On/2
+		return b.LatMemL2On + b.LatL2Hit/2 + b.LatMemL2On/2
 	}
-	return arch.LatencyMemL2Off + arch.LatencyMemL2Off/2
+	return b.LatMemL2Off + b.LatMemL2Off/2
 }
 
 // fetchMissCost bounds an unclassified instruction fetch. With the
@@ -51,7 +51,8 @@ func missCost(hw arch.Config) uint64 {
 // paper anticipates.
 func fetchMissCost(hw arch.Config) uint64 {
 	if hw.L2Enabled && hw.L2LockedKernel {
-		return arch.LatencyL2Hit + arch.LatencyL2Hit/2
+		b := hw.Backend()
+		return b.LatL2Hit + b.LatL2Hit/2
 	}
 	return missCost(hw)
 }
@@ -61,8 +62,9 @@ func fetchMissCost(hw arch.Config) uint64 {
 // worst-case cycle cost for every node plus a one-off cost per loop
 // (charged on its entry edges by the IPET encoding).
 func (a *Analyzer) classify(g *cfg.Graph) ([]uint64, []uint64, ClassStats) {
-	l1i := arch.L1IGeometry
-	l1d := arch.L1DGeometry
+	be := a.HW.Backend()
+	l1i := be.L1I
+	l1d := be.L1D
 
 	newState := func() absState {
 		i := cache.NewMust(l1i.Sets()*1, l1i.LineBytes) // one way: direct-mapped of way size
@@ -120,7 +122,7 @@ func (a *Analyzer) classify(g *cfg.Graph) ([]uint64, []uint64, ClassStats) {
 	var stats ClassStats
 	miss := missCost(a.HW)
 	fetchMiss := fetchMissCost(a.HW)
-	branch := pipeline.WorstBranchCost(a.HW.BranchPredictor)
+	branch := be.WorstBranchCost(a.HW.BranchPredictor)
 	for _, n := range g.Nodes {
 		if n.Block == nil {
 			continue // virtual exit
@@ -133,7 +135,7 @@ func (a *Analyzer) classify(g *cfg.Graph) ([]uint64, []uint64, ClassStats) {
 		var c uint64
 		for i := range n.Block.Instrs {
 			ins := &n.Block.Instrs[i]
-			c += arch.BaseCost(ins.Class)
+			c += be.BaseCost(ins.Class)
 			fa := n.Block.InstrAddr(i)
 			switch {
 			case a.HW.InITCM(fa):
@@ -149,7 +151,7 @@ func (a *Analyzer) classify(g *cfg.Graph) ([]uint64, []uint64, ClassStats) {
 				// loop's entry edges instead of per
 				// iteration.
 				stats.FetchFirstMiss++
-				chargedI[pers.innermost[n.ID]][lineOf(fa)] = true
+				chargedI[pers.innermost[n.ID]][lineOf(be, fa)] = true
 				s.i.Update(fa)
 			default:
 				stats.FetchMiss++
@@ -163,10 +165,10 @@ func (a *Analyzer) classify(g *cfg.Graph) ([]uint64, []uint64, ClassStats) {
 					stats.DataHit++
 				case d.Fixed() && !s.d.Hit(d.Base) && pers.persistentData(n.ID, d.Base):
 					stats.DataFirstMiss++
-					chargedD[pers.innermost[n.ID]][lineOf(d.Base)] = true
+					chargedD[pers.innermost[n.ID]][lineOf(be, d.Base)] = true
 					s.d.Update(d.Base)
 				default:
-					applyData(s, d, &c, &stats, miss)
+					applyData(be, s, d, &c, &stats, miss)
 				}
 			}
 		}
@@ -183,7 +185,7 @@ func (a *Analyzer) classify(g *cfg.Graph) ([]uint64, []uint64, ClassStats) {
 }
 
 // applyData classifies and applies one data reference.
-func applyData(s absState, d kimage.DataRef, cost *uint64, stats *ClassStats, miss uint64) {
+func applyData(be *arch.Backend, s absState, d kimage.DataRef, cost *uint64, stats *ClassStats, miss uint64) {
 	if d.Fixed() {
 		if s.d.Hit(d.Base) {
 			stats.DataHit++
@@ -198,7 +200,7 @@ func applyData(s absState, d kimage.DataRef, cost *uint64, stats *ClassStats, mi
 	// guaranteed hit even without pointer analysis: whatever address
 	// it resolves to is locked in the cache (§4 pins the IPC
 	// buffers and key data regions for exactly this reason).
-	if footprintPinned(s.d, d) {
+	if footprintPinned(be, s.d, d) {
 		stats.DataHit++
 		return
 	}
@@ -207,17 +209,17 @@ func applyData(s absState, d kimage.DataRef, cost *uint64, stats *ClassStats, mi
 	// destroy the guarantees of every set its footprint can touch.
 	stats.DataUnknown++
 	*cost += miss
-	clobberFootprint(s.d, d)
+	clobberFootprint(be, s.d, d)
 }
 
 // footprintPinned reports whether every line a striding reference can
 // touch is pinned.
-func footprintPinned(m *cache.Must, d kimage.DataRef) bool {
+func footprintPinned(be *arch.Backend, m *cache.Must, d kimage.DataRef) bool {
 	span := uint64(d.Stride)*uint64(d.Count-1) + 4
-	if span > uint64(arch.L1DGeometry.WaySizeBytes()) {
+	if span > uint64(be.L1D.WaySizeBytes()) {
 		return false
 	}
-	for off := uint64(0); off < span; off += arch.LineBytes {
+	for off := uint64(0); off < span; off += uint64(be.LineBytes) {
 		if !m.Hit(d.Base + uint32(off)) {
 			return false
 		}
@@ -227,13 +229,13 @@ func footprintPinned(m *cache.Must, d kimage.DataRef) bool {
 
 // clobberFootprint removes must-guarantees for every cache set a
 // striding reference may touch.
-func clobberFootprint(m *cache.Must, d kimage.DataRef) {
+func clobberFootprint(be *arch.Backend, m *cache.Must, d kimage.DataRef) {
 	span := uint64(d.Stride) * uint64(d.Count)
-	if span >= uint64(arch.L1DGeometry.WaySizeBytes()) {
+	if span >= uint64(be.L1D.WaySizeBytes()) {
 		m.ClobberAll()
 		return
 	}
-	for off := uint64(0); off <= span; off += arch.LineBytes {
+	for off := uint64(0); off <= span; off += uint64(be.LineBytes) {
 		m.Clobber(d.Base + uint32(off))
 	}
 }
@@ -258,6 +260,7 @@ func (a *Analyzer) applyTransfer(s absState, n *cfg.Node) {
 	if n.Block == nil {
 		return
 	}
+	be := a.HW.Backend()
 	for i := range n.Block.Instrs {
 		ins := &n.Block.Instrs[i]
 		if fa := n.Block.InstrAddr(i); !a.HW.InITCM(fa) {
@@ -269,7 +272,7 @@ func (a *Analyzer) applyTransfer(s absState, n *cfg.Node) {
 		if ins.Data.Fixed() {
 			s.d.Update(ins.Data.Base)
 		} else {
-			clobberFootprint(s.d, ins.Data)
+			clobberFootprint(be, s.d, ins.Data)
 		}
 	}
 }

@@ -107,9 +107,12 @@ func (a *Analyzer) imageFingerprint(entry string) string {
 }
 
 // hwFingerprint digests the hardware configuration. arch.Config is a
-// flat value struct, so its printed form is a stable digest input.
+// flat value struct, so its printed form is a stable digest input. The
+// resolved backend's id@version leads the digest: Config.Arch alone is
+// not enough, because the empty string aliases the default backend and
+// a backend's timing model can be revised without the Config changing.
 func (a *Analyzer) hwFingerprint() string {
-	return fmt.Sprintf("%+v", a.HW)
+	return a.HW.Backend().Key() + "|" + fmt.Sprintf("%+v", a.HW)
 }
 
 // constraintsFingerprint digests the user constraint set, in order

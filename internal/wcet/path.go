@@ -7,7 +7,6 @@ import (
 	"verikern/internal/cache"
 	"verikern/internal/cfg"
 	"verikern/internal/kimage"
-	"verikern/internal/pipeline"
 )
 
 // reconstruct converts the ILP's edge counts into a concrete block
@@ -64,8 +63,9 @@ func reconstruct(g *cfg.Graph, edgeCount map[edgeKey]int64) ([]*kimage.Block, er
 // path, and the difference from the simulator is purely the hardware
 // model's pessimism.
 func TraceCycles(img *kimage.Image, hw arch.Config, trace []*kimage.Block) uint64 {
-	l1i := arch.L1IGeometry
-	l1d := arch.L1DGeometry
+	be := hw.Backend()
+	l1i := be.L1I
+	l1d := be.L1D
 	i := cache.NewMust(l1i.Sets(), l1i.LineBytes)
 	d := cache.NewMust(l1d.Sets(), l1d.LineBytes)
 	if hw.PinnedL1Ways > 0 {
@@ -76,7 +76,7 @@ func TraceCycles(img *kimage.Image, hw arch.Config, trace []*kimage.Block) uint6
 
 	miss := missCost(hw)
 	fetchMiss := fetchMissCost(hw)
-	branch := pipeline.WorstBranchCost(hw.BranchPredictor)
+	branch := be.WorstBranchCost(hw.BranchPredictor)
 	var cycles uint64
 	var stats ClassStats
 	// Execution indices for striding refs, as in the simulator.
@@ -89,7 +89,7 @@ func TraceCycles(img *kimage.Image, hw arch.Config, trace []*kimage.Block) uint6
 		}
 		for k := range b.Instrs {
 			ins := &b.Instrs[k]
-			cycles += arch.BaseCost(ins.Class)
+			cycles += be.BaseCost(ins.Class)
 			fa := b.InstrAddr(k)
 			if !hw.InITCM(fa) {
 				if !st.i.Hit(fa) {
@@ -102,7 +102,7 @@ func TraceCycles(img *kimage.Image, hw arch.Config, trace []*kimage.Block) uint6
 					if hw.InDTCM(ins.Data.Base) {
 						stats.DataHit++
 					} else {
-						applyData(st, ins.Data, &cycles, &stats, miss)
+						applyData(be, st, ins.Data, &cycles, &stats, miss)
 					}
 				} else {
 					// Along a concrete path the access
@@ -114,7 +114,7 @@ func TraceCycles(img *kimage.Image, hw arch.Config, trace []*kimage.Block) uint6
 						continue
 					}
 					ref := kimage.DataRef{Base: a, Write: ins.Data.Write}
-					applyData(st, ref, &cycles, &stats, miss)
+					applyData(be, st, ref, &cycles, &stats, miss)
 				}
 			}
 		}

@@ -32,6 +32,8 @@ type persistence struct {
 	// innermost maps node -> index of its innermost containing
 	// loop, or -1.
 	innermost []int
+	// be is the backend whose line size keys the persistence sets.
+	be *arch.Backend
 }
 
 // analyzePersistence computes persistent lines per loop.
@@ -40,6 +42,7 @@ func analyzePersistence(g *cfg.Graph, img *kimage.Image, hw arch.Config) *persis
 		persistentI: make([]map[uint32]bool, len(g.Loops)),
 		persistentD: make([]map[uint32]bool, len(g.Loops)),
 		innermost:   make([]int, len(g.Nodes)),
+		be:          hw.Backend(),
 	}
 	for i := range p.innermost {
 		p.innermost[i] = -1
@@ -54,9 +57,11 @@ func analyzePersistence(g *cfg.Graph, img *kimage.Image, hw arch.Config) *persis
 		}
 	}
 
-	iLine := func(a uint32) uint32 { return a &^ uint32(arch.LineBytes-1) }
-	iSet := func(a uint32) uint32 { return (a >> 5) % uint32(arch.L1IGeometry.Sets()) }
-	dSet := func(a uint32) uint32 { return (a >> 5) % uint32(arch.L1DGeometry.Sets()) }
+	be := p.be
+	line := uint32(be.LineBytes)
+	iLine := func(a uint32) uint32 { return a &^ (line - 1) }
+	iSet := func(a uint32) uint32 { return (a / line) % uint32(be.L1I.Sets()) }
+	dSet := func(a uint32) uint32 { return (a / line) % uint32(be.L1D.Sets()) }
 
 	pinnedI := map[uint32]bool{}
 	pinnedD := map[uint32]bool{}
@@ -104,11 +109,11 @@ func analyzePersistence(g *cfg.Graph, img *kimage.Image, hw arch.Config) *persis
 				// can touch (all sets when it wraps the
 				// cache).
 				span := uint64(d.Stride) * uint64(d.Count)
-				if span >= uint64(arch.L1DGeometry.WaySizeBytes()) {
+				if span >= uint64(be.L1D.WaySizeBytes()) {
 					clobberAllD = true
 					continue
 				}
-				for off := uint64(0); off <= span; off += arch.LineBytes {
+				for off := uint64(0); off <= span; off += uint64(line) {
 					dl := iLine(d.Base + uint32(off))
 					dOwner[dSet(dl)] = ^uint32(0)
 				}
@@ -134,19 +139,19 @@ func analyzePersistence(g *cfg.Graph, img *kimage.Image, hw arch.Config) *persis
 	return p
 }
 
-// lineOf returns the cache line of an address.
-func lineOf(a uint32) uint32 { return a &^ uint32(arch.LineBytes-1) }
+// lineOf returns the cache line of an address on backend be.
+func lineOf(be *arch.Backend, a uint32) uint32 { return a &^ uint32(be.LineBytes-1) }
 
 // persistentFetch reports whether node id's fetch of addr is covered
 // by its innermost loop's persistence set.
 func (p *persistence) persistentFetch(id cfg.NodeID, addr uint32) bool {
 	li := p.innermost[id]
-	return li >= 0 && p.persistentI[li][lineOf(addr)]
+	return li >= 0 && p.persistentI[li][lineOf(p.be, addr)]
 }
 
 // persistentData reports whether node id's fixed data access to addr
 // is covered.
 func (p *persistence) persistentData(id cfg.NodeID, addr uint32) bool {
 	li := p.innermost[id]
-	return li >= 0 && p.persistentD[li][lineOf(addr)]
+	return li >= 0 && p.persistentD[li][lineOf(p.be, addr)]
 }

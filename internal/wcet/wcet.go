@@ -199,6 +199,12 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, entry string) (*Result, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if ib, hb := a.Img.Backend(), a.HW.Backend(); ib != hb {
+		return nil, fmt.Errorf("wcet: image linked for backend %s analysed under %s", ib.ID, hb.ID)
+	}
+	if err := a.HW.Backend().ValidateConfig(a.HW); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 
 	var resultKey string
@@ -245,7 +251,7 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, entry string) (*Result, e
 		edgeCounts:    sol.edgeCountMap(),
 		Trace:         trace,
 	}
-	res.Micros = arch.CyclesToMicros(res.Cycles)
+	res.Micros = a.HW.Backend().CyclesToMicros(res.Cycles)
 	res.AnalysisTime = time.Since(start)
 	a.Metrics.Add("wcet.entries_analyzed", 1)
 	if resultKey != "" {

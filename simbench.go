@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"verikern/internal/arch"
 	"verikern/internal/machine"
 	"verikern/internal/measure"
 	"verikern/internal/soak"
@@ -27,6 +28,8 @@ const DefaultSimBenchRuns = 2000
 type SimBenchEntry struct {
 	// Label names the image configuration (kernel generation × pinning).
 	Label string `json:"label"`
+	// Arch is the hardware backend the replay machine simulated.
+	Arch string `json:"arch"`
 	// Pinned reports whether the L1 way-pinned image was replayed.
 	Pinned bool `json:"pinned"`
 	// TraceBlocks is the replayed worst-case trace's block count.
@@ -105,9 +108,22 @@ func simEngine(plan *soak.ReplayPlan, base uint64, runs int, memo *machine.Memo)
 // agree exactly between engines — a disagreement is an engine bug and
 // fails the report rather than skewing it.
 func SimReport(ctx context.Context, seed uint64, runs int) (*SimBench, error) {
+	return SimReportArch(ctx, seed, runs, "")
+}
+
+// SimReportArch is SimReport on an explicit hardware backend
+// ("arm1136", "cva6rt", ...; empty means ARM1136): the replayed traces
+// are analysed for and simulated on that backend's timing model, with a
+// backend-mixed pollution seed.
+func SimReportArch(ctx context.Context, seed uint64, runs int, archID string) (*SimBench, error) {
 	if runs <= 0 {
 		runs = DefaultSimBenchRuns
 	}
+	backend, err := arch.Lookup(archID)
+	if err != nil {
+		return nil, fmt.Errorf("bench-sim: %w", err)
+	}
+	seedRoot := measure.ArchSeed(seed, backend)
 	doc := &SimBench{Seed: seed, Runs: runs}
 	for _, pc := range ProbeConfigs() {
 		if err := ctx.Err(); err != nil {
@@ -115,13 +131,14 @@ func SimReport(ctx context.Context, seed uint64, runs int) (*SimBench, error) {
 		}
 		plan, err := soak.BuildReplayPlan(ctx, soak.Config{
 			Label:  pc.Name,
+			Arch:   archID,
 			Kernel: pc.Kernel,
 			Pinned: pc.Pinned,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("bench-sim %s: %w", pc.Name, err)
 		}
-		base := measure.CampaignSeed(seed, pc.Name)
+		base := measure.CampaignSeed(seedRoot, pc.Name)
 
 		nElapsed, nCycles, nAllocs := simEngine(plan, base, runs, nil)
 		memo := machine.NewMemo()
@@ -133,6 +150,7 @@ func SimReport(ctx context.Context, seed uint64, runs int) (*SimBench, error) {
 		st := memo.Stats()
 		e := SimBenchEntry{
 			Label:             pc.Name,
+			Arch:              backend.ID,
 			Pinned:            pc.Pinned,
 			TraceBlocks:       len(plan.Trace),
 			Runs:              runs,

@@ -97,6 +97,9 @@ type Image struct {
 	Constraints []wcet.UserConstraint
 	Variant     Variant
 	Pinned      bool
+	// Arch is the hardware backend the image was linked for
+	// (arch.ARM1136ID when built via BuildImage).
+	Arch string
 	// Metrics, when set, collects analysis-pipeline stage timings and
 	// counters for every Analyze call on this image.
 	Metrics *obs.Metrics
@@ -147,14 +150,27 @@ func SetAnalysisCacheDir(dir string) error {
 func ObservePipeline(m *obs.Metrics) { pipelineMetrics = m }
 
 // BuildImage constructs the synthetic kernel binary for a variant,
-// optionally with the §4 pin set.
+// optionally with the §4 pin set, linked for the default ARM1136/KZM
+// backend.
 func BuildImage(v Variant, pinned bool) (*Image, error) {
-	img, cons, err := kbin.Build(kbin.Options{Modernised: v == Modern, Pinned: pinned})
+	return BuildImageArch(v, pinned, "")
+}
+
+// BuildImageArch is BuildImage for an explicit hardware backend
+// ("arm1136", "cva6rt", ...; empty means ARM1136). The image's layout,
+// pin sets and analysis all follow the backend's address map and cache
+// geometry; analyse it under a Hardware whose Arch field matches.
+func BuildImageArch(v Variant, pinned bool, archID string) (*Image, error) {
+	img, cons, err := kbin.Build(kbin.Options{Modernised: v == Modern, Pinned: pinned, Arch: archID})
 	if err != nil {
 		return nil, err
 	}
-	return &Image{Img: img, Constraints: cons, Variant: v, Pinned: pinned, Metrics: pipelineMetrics}, nil
+	return &Image{Img: img, Constraints: cons, Variant: v, Pinned: pinned,
+		Arch: img.Backend().ID, Metrics: pipelineMetrics}, nil
 }
+
+// Architectures lists the registered hardware backend ids, sorted.
+func Architectures() []string { return arch.BackendIDs() }
 
 // Bound is one entry point's analysis outcome.
 type Bound struct {
@@ -228,7 +244,7 @@ func (im *Image) AnalyzeWithLP(hw Hardware, e EntryPoint) (Bound, error) {
 // the §5.3 model-checked bounds, returning an error for any annotation
 // the models prove unsound.
 func (im *Image) VerifyLoopBounds() error {
-	models, err := kbin.LoopModels(kbin.Options{Modernised: im.Variant == Modern, Pinned: im.Pinned}, im.Img)
+	models, err := kbin.LoopModels(kbin.Options{Modernised: im.Variant == Modern, Pinned: im.Pinned, Arch: im.Arch}, im.Img)
 	if err != nil {
 		return err
 	}
