@@ -47,22 +47,42 @@
 //	        [-tightness-out BENCH_tightness.json]
 //	kzm-sim -bench-sim [-bench-sim-runs N] [-seed N]
 //	        [-bench-sim-out BENCH_sim.json]
+//	kzm-sim -fleet-coordinator ADDR -soak <ops> [-fleet-workers N]
+//	        [-fleet-chaos-kill N] [-fleet-verify] [-fleet-state F]
+//	        [-serve :9090]
+//	kzm-sim -fleet-worker ADDR
+//	kzm-sim -fleet-bench -soak <ops> [-fleet-workers N]
+//	        [-fleet-chaos-kill N] [-fleet-out BENCH_fleet.json]
+//
+// With -fleet-coordinator, kzm-sim becomes the fleet observatory: the
+// soak campaign is sharded across worker processes (spawned locally
+// and/or attached over TCP with -fleet-worker), each streaming
+// histogram deltas and flight captures back over a length-prefixed
+// wire protocol. The coordinator merges them live — byte-identically
+// to a single-process soak at the same seed, even across worker kills
+// — and serves /metrics, /snapshot.json, /fleet.json and /debug/pprof
+// on -serve. SIGTERM drains workers gracefully, flushing final
+// batches before the terminal snapshot prints.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"verikern"
 	"verikern/internal/arch"
+	"verikern/internal/fleet"
 	"verikern/internal/kernel"
 	"verikern/internal/measure"
 	"verikern/internal/obs"
@@ -90,9 +110,17 @@ func main() {
 	benchSim := flag.Bool("bench-sim", false, "benchmark the naive vs memoized simulator engine over the image matrix")
 	benchSimRuns := flag.Int("bench-sim-runs", verikern.DefaultSimBenchRuns, "timed warm replays per engine per configuration")
 	benchSimOut := flag.String("bench-sim-out", "BENCH_sim.json", "write the engine benchmark as a BENCH_sim.json artifact to this file (with -bench-sim; empty disables)")
+	fleetCoord := flag.String("fleet-coordinator", "", "run a fleet coordinator listening for workers on this address (op budget from -soak)")
+	fleetWorkerAddr := flag.String("fleet-worker", "", "run one fleet worker dialing a coordinator at this address")
+	fleetWorkers := flag.Int("fleet-workers", 3, "worker processes the coordinator spawns locally (0 = attach externally)")
+	fleetChaosKill := flag.Int("fleet-chaos-kill", 0, "kill and respawn this many workers mid-campaign (restart-path smoke)")
+	fleetVerify := flag.Bool("fleet-verify", false, "after the campaign, verify the merged snapshot byte-matches a single-process soak")
+	fleetState := flag.String("fleet-state", "", "persist coordinator checkpoints to this file (resume on restart)")
+	fleetBench := flag.Bool("fleet-bench", false, "run the fleet benchmark across all architecture backends")
+	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "write the fleet benchmark as a BENCH_fleet.json artifact to this file (with -fleet-bench; empty disables)")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	backend, err := arch.Lookup(*archName)
@@ -107,6 +135,37 @@ func main() {
 
 	if *probeMode {
 		runProbe(ctx, *seed, *probeBudget, *tightnessOut, backend.ID)
+		return
+	}
+
+	if *fleetWorkerAddr != "" {
+		runFleetWorker(ctx, *fleetWorkerAddr)
+		return
+	}
+
+	if *fleetBench {
+		ops, wall, err := parseSoakSpec(*soakSpec)
+		if err != nil || wall > 0 {
+			log.Fatalf("-fleet-bench needs an op budget via -soak (got %q)", *soakSpec)
+		}
+		runFleetBench(ctx, *seed, ops, *fleetWorkers, *fleetChaosKill, *fleetOut)
+		return
+	}
+
+	if *fleetCoord != "" {
+		runFleetCoordinator(ctx, fleetRunConfig{
+			addr:       *fleetCoord,
+			variant:    *variantName,
+			arch:       backend.ID,
+			seed:       *seed,
+			soakSpec:   *soakSpec,
+			pinned:     *pinned,
+			workers:    *fleetWorkers,
+			serveAddr:  *serveAddr,
+			statePath:  *fleetState,
+			chaosKills: *fleetChaosKill,
+			verify:     *fleetVerify,
+		})
 		return
 	}
 
@@ -390,25 +449,14 @@ func parseSoakSpec(spec string) (ops uint64, wall time.Duration, err error) {
 }
 
 // serveSnapshot exposes the soak's merged snapshot over HTTP until the
-// process is interrupted.
+// process is interrupted: /metrics (with build_info), /snapshot.json
+// and the pprof endpoints, on the same mux the fleet coordinator uses.
 func serveSnapshot(ctx context.Context, addr string, rep *soak.Report) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := rep.Snapshot.WritePrometheus(w); err != nil {
-			log.Printf("serving /metrics: %v", err)
-		}
-	})
-	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := rep.Snapshot.WriteJSON(w); err != nil {
-			log.Printf("serving /snapshot.json: %v", err)
-		}
-	})
+	mux := fleet.NewMux(func() *obs.Snapshot { return rep.Snapshot }, nil)
 	srv := &http.Server{Addr: addr, Handler: mux}
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
-	fmt.Printf("serving /metrics and /snapshot.json on %s (interrupt to stop)\n", addr)
+	fmt.Printf("serving /metrics, /snapshot.json and /debug/pprof on %s (interrupt to stop)\n", addr)
 	select {
 	case err := <-done:
 		log.Fatal(err)
@@ -417,4 +465,213 @@ func serveSnapshot(ctx context.Context, addr string, rep *soak.Report) {
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
 	}
+}
+
+// fleetRunConfig bundles the coordinator-mode flag values.
+type fleetRunConfig struct {
+	addr       string
+	variant    string
+	arch       string
+	seed       uint64
+	soakSpec   string
+	pinned     bool
+	workers    int
+	serveAddr  string
+	statePath  string
+	chaosKills int
+	verify     bool
+}
+
+// fleetSpec translates the CLI variant flags into the fleet workload
+// spec, mirroring runSoak's config construction.
+func fleetSpec(rc fleetRunConfig, ops uint64) fleet.Spec {
+	kcfg := kernel.Modern()
+	label := "benno+preempt"
+	if rc.variant == "original" {
+		kcfg = kernel.Original()
+		label = "lazy"
+	}
+	kcfg.CheckInvariants = false
+	if rc.pinned {
+		label += "+pinned"
+	}
+	return fleet.Spec{
+		Label:   label,
+		Arch:    rc.arch,
+		Seed:    rc.seed,
+		Ops:     ops,
+		Workers: rc.workers,
+		Kernel:  kcfg,
+		Pinned:  rc.pinned,
+	}
+}
+
+// runFleetCoordinator is the fleet-observatory mode: shard the soak
+// across worker processes, merge their streamed deltas live, serve the
+// aggregate, survive worker kills, drain gracefully on SIGTERM, and
+// optionally verify equal-seed equivalence at completion.
+func runFleetCoordinator(ctx context.Context, rc fleetRunConfig) {
+	ops, wall, err := parseSoakSpec(rc.soakSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if wall > 0 {
+		log.Fatal("-fleet-coordinator needs an op budget via -soak, not a duration")
+	}
+	if rc.workers < 1 {
+		log.Fatal("-fleet-workers must be at least 1")
+	}
+	spec := fleetSpec(rc, ops)
+	c, err := fleet.New(ctx, fleet.Config{Spec: spec, StatePath: rc.statePath, Logf: log.Printf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", rc.addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = c.Serve(ln) }()
+	fmt.Printf("fleet coordinator on %s: %d shards, %d ops, seed %d\n",
+		ln.Addr(), spec.Workers, spec.Ops, spec.Seed)
+
+	if rc.serveAddr != "" {
+		srv := &http.Server{Addr: rc.serveAddr, Handler: fleet.NewMux(c.Snapshot, c.Status)}
+		go func() {
+			if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+				log.Printf("serve: %v", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("serving /metrics, /snapshot.json, /fleet.json and /debug/pprof on %s\n", rc.serveAddr)
+	}
+
+	// The spawner deliberately does NOT inherit the signal context: on
+	// SIGTERM the workers must survive long enough to honour the
+	// coordinator's drain (flushing their final batches); only after
+	// the drain completes are the processes torn down.
+	spawnCtx, stopSpawn := context.WithCancel(context.Background())
+	defer stopSpawn()
+	var procs *fleet.ProcSet
+	if rc.workers > 0 {
+		bin, err := os.Executable()
+		if err != nil {
+			log.Fatal(err)
+		}
+		procs = fleet.SpawnLocalWorkers(spawnCtx, bin, rc.workers,
+			[]string{"-fleet-worker", ln.Addr().String()}, log.Printf)
+	}
+	if rc.chaosKills > 0 && procs != nil {
+		go func() {
+			for c.MergedOps() <= spec.Ops/3 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-c.Done():
+					return
+				case <-time.After(5 * time.Millisecond):
+				}
+			}
+			for i := 0; i < rc.chaosKills; i++ {
+				if !procs.KillOne() {
+					time.Sleep(50 * time.Millisecond)
+					continue
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+		}()
+	}
+
+	interrupted := false
+	select {
+	case <-c.Done():
+	case <-ctx.Done():
+		interrupted = true
+		fmt.Println("signal received: draining fleet")
+		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := c.Drain(drainCtx); err != nil {
+			log.Printf("drain: %v", err)
+		}
+		cancel()
+	}
+	stopSpawn()
+	ln.Close()
+	if procs != nil {
+		procs.Wait()
+	}
+
+	st := c.Status()
+	snap := c.Snapshot()
+	fmt.Printf("fleet merged %d/%d ops, %d samples, %d batches, %d dropped, %d restarts\n",
+		st.MergedOps, st.TotalOps, st.Samples, st.Batches, st.Dropped, st.Restarts)
+	var buf bytes.Buffer
+	_ = snap.WriteJSON(&buf)
+	fmt.Printf("terminal snapshot: irq count %d max %d, bound %d (%d violations)\n",
+		snap.IRQ.Count, snap.IRQ.Max, snap.Bound.Cycles, snap.Bound.Violations)
+
+	if rc.verify {
+		if interrupted || !c.Completed() {
+			log.Println("fleet-verify skipped: campaign incomplete")
+		} else {
+			fleetDigest, err := fleet.EquivalenceDigest(snap)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := soak.Run(context.Background(), spec.SoakConfig())
+			if err != nil {
+				log.Fatal(err)
+			}
+			singleDigest, err := fleet.EquivalenceDigest(rep.Snapshot)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !bytes.Equal(fleetDigest, singleDigest) {
+				log.Fatalf("EQUIVALENCE VIOLATION: fleet merge diverges from single-process soak\n--- fleet ---\n%s--- single ---\n%s", fleetDigest, singleDigest)
+			}
+			fmt.Println("equal-seed equivalence: fleet merge byte-identical to single-process soak")
+		}
+	}
+	c.Stop()
+}
+
+// runFleetWorker dials the coordinator and runs one worker to
+// completion (shard budget, drain, or signal).
+func runFleetWorker(ctx context.Context, addr string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fleet.RunWorker(ctx, conn, fleet.WorkerOptions{Logf: log.Printf}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runFleetBench runs one chaos-injected fleet campaign per
+// architecture backend, verifies equal-seed equivalence for each, and
+// writes the BENCH_fleet.json artifact. Any inequivalent campaign is
+// fatal — the artifact's Equivalent flags are the CI gate.
+func runFleetBench(ctx context.Context, seed, ops uint64, workers, chaosKills int, out string) {
+	doc, err := verikern.FleetReport(ctx, seed, ops, workers, chaosKills, verikern.Architectures())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(verikern.FormatFleetReport(doc))
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := verikern.WriteFleetBench(f, doc); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d-arch fleet benchmark to %s\n", len(doc.Configs), out)
+	}
+	for _, r := range doc.Configs {
+		if !r.Equivalent {
+			log.Fatalf("EQUIVALENCE VIOLATION: %s fleet merge diverges from single-process soak", r.Arch)
+		}
+	}
+	fmt.Println("equal-seed equivalence: every fleet merge byte-identical to its single-process soak")
 }

@@ -1,6 +1,7 @@
 package verikern
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"verikern/internal/arch"
+	"verikern/internal/fleet"
 	"verikern/internal/kbin"
 	"verikern/internal/kernel"
 	"verikern/internal/machine"
@@ -867,6 +869,130 @@ type TightnessBench struct {
 // BENCH_tightness.json artifact.
 func WriteTightnessBench(w io.Writer, seed uint64, budget int, reps []*probe.Report) error {
 	doc := TightnessBench{Seed: seed, Budget: budget, Configs: reps}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// --- Fleet observatory (sharded soak farm) ---
+
+// FleetBenchRow is one architecture's fleet-campaign result in the
+// BENCH_fleet.json artifact.
+type FleetBenchRow struct {
+	Arch    string `json:"arch"`
+	Label   string `json:"label"`
+	Workers int    `json:"workers"`
+	Ops     uint64 `json:"ops"`
+	// Samples is the merged IRQ sample count; SamplesPerSec the
+	// aggregate merge throughput over the campaign wall time (host-
+	// dependent, unlike everything else in the row).
+	Samples       uint64  `json:"samples"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	WallMS        int64   `json:"wall_ms"`
+	SimCycles     uint64  `json:"sim_cycles"`
+	BoundCycles   uint64  `json:"bound_cycles"`
+	Violations    uint64  `json:"violations"`
+	MaxLatency    uint64  `json:"max_latency"`
+	// Transport health: streamed batches, checkpoint-gate drops, and
+	// worker restarts (equal to the chaos kills injected).
+	Batches  uint64 `json:"batches"`
+	Dropped  uint64 `json:"dropped"`
+	Restarts uint64 `json:"restarts"`
+	// Equivalent is the keystone verdict: the fleet's merged snapshot
+	// is byte-identical to a single-process soak at the same seed.
+	Equivalent bool `json:"equivalent"`
+}
+
+// FleetBench is the BENCH_fleet.json document.
+type FleetBench struct {
+	Seed       uint64          `json:"seed"`
+	Ops        uint64          `json:"ops"`
+	Workers    int             `json:"workers"`
+	ChaosKills int             `json:"chaos_kills"`
+	Configs    []FleetBenchRow `json:"configs"`
+}
+
+// FleetReport runs one fleet campaign per architecture backend (the
+// modern benno+preempt kernel), injecting chaosKills worker kills per
+// campaign, and verifies each merged result against a single-process
+// soak at the same seed — the equal-seed equivalence the fleet's
+// merge protocol guarantees. An inequivalent campaign is reported,
+// not an error; callers (and CI) gate on the Equivalent flags.
+func FleetReport(ctx context.Context, seed, ops uint64, workers, chaosKills int, archIDs []string) (*FleetBench, error) {
+	modern := kernel.Modern()
+	modern.CheckInvariants = false
+	doc := &FleetBench{Seed: seed, Ops: ops, Workers: workers, ChaosKills: chaosKills}
+	for _, id := range archIDs {
+		spec := fleet.Spec{
+			Label:   "benno+preempt",
+			Arch:    id,
+			Seed:    seed,
+			Ops:     ops,
+			Workers: workers,
+			Kernel:  modern,
+		}
+		start := time.Now()
+		c, err := fleet.RunLocal(ctx, fleet.Config{Spec: spec}, fleet.LocalOptions{ChaosKills: chaosKills})
+		if err != nil {
+			return nil, fmt.Errorf("fleet %s: %w", id, err)
+		}
+		wall := time.Since(start)
+		snap := c.Snapshot()
+		st := c.Status()
+		fleetDigest, err := fleet.EquivalenceDigest(snap)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := soak.Run(ctx, spec.SoakConfig())
+		if err != nil {
+			return nil, fmt.Errorf("fleet %s: single-process comparator: %w", id, err)
+		}
+		singleDigest, err := fleet.EquivalenceDigest(rep.Snapshot)
+		if err != nil {
+			return nil, err
+		}
+		row := FleetBenchRow{
+			Arch:        snap.Arch,
+			Label:       snap.Label,
+			Workers:     workers,
+			Ops:         snap.Ops,
+			Samples:     snap.IRQ.Count,
+			WallMS:      wall.Milliseconds(),
+			SimCycles:   snap.SimCycles,
+			BoundCycles: snap.Bound.Cycles,
+			Violations:  snap.Bound.Violations,
+			MaxLatency:  snap.IRQ.Max,
+			Batches:     st.Batches,
+			Dropped:     st.Dropped,
+			Restarts:    st.Restarts,
+			Equivalent:  bytes.Equal(fleetDigest, singleDigest),
+		}
+		if s := wall.Seconds(); s > 0 {
+			row.SamplesPerSec = float64(row.Samples) / s
+		}
+		doc.Configs = append(doc.Configs, row)
+	}
+	return doc, nil
+}
+
+// FormatFleetReport renders the fleet benchmark as the text table
+// cmd/kzm-sim prints.
+func FormatFleetReport(doc *FleetBench) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet observatory: %d workers, %d ops, seed %d, %d chaos kills\n",
+		doc.Workers, doc.Ops, doc.Seed, doc.ChaosKills)
+	fmt.Fprintf(&b, "%-10s %-16s %10s %12s %10s %9s %8s %8s %s\n",
+		"arch", "label", "samples", "samples/s", "max cyc", "batches", "drops", "restarts", "equivalent")
+	for _, r := range doc.Configs {
+		fmt.Fprintf(&b, "%-10s %-16s %10d %12.0f %10d %9d %8d %8d %v\n",
+			r.Arch, r.Label, r.Samples, r.SamplesPerSec, r.MaxLatency, r.Batches, r.Dropped, r.Restarts, r.Equivalent)
+	}
+	return b.String()
+}
+
+// WriteFleetBench serialises the fleet benchmark as the
+// BENCH_fleet.json artifact.
+func WriteFleetBench(w io.Writer, doc *FleetBench) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(doc)

@@ -1,0 +1,672 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"verikern/internal/arch"
+	"verikern/internal/obs"
+	"verikern/internal/soak"
+)
+
+// Config parameterises a Coordinator.
+type Config struct {
+	// Spec is the fleet-wide workload: Spec.Ops is the total op
+	// budget, Spec.Workers the shard count. A zero BoundCycles is
+	// resolved through the same ComputeBound the in-process soak
+	// uses, so the sentinel bound matches a single-process run.
+	Spec Spec
+	// BatchOps is how many ops a worker runs between streamed
+	// batches. Default 512.
+	BatchOps int
+	// QueueCap bounds the ingest queue between connection readers and
+	// the merger. A full queue blocks the reader (TCP backpressure) —
+	// merged data is never dropped for queue pressure. Default 64.
+	QueueCap int
+	// StatePath optionally persists merged checkpoints (atomically,
+	// after every merge) so a restarted coordinator resumes the
+	// campaign instead of starting over. The file is keyed by a hash
+	// of the resolved spec; a mismatch is an error, not a silent
+	// restart.
+	StatePath string
+	// Logf receives progress lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// shardState is the coordinator's view of one shard.
+type shardState struct {
+	checkpoint uint64 // ops merged so far — the resume point
+	budget     uint64 // total ops this shard owes
+	simCycles  uint64 // cumulative simulated clock at checkpoint
+	owner      uint64 // conn id currently leasing the shard (0 = none)
+	restarts   int    // times the lease was lost before completion
+	completed  bool
+	samples    uint64    // merged IRQ samples
+	lastBatch  time.Time // wall time of the last merged batch
+	rate       float64   // EWMA samples/sec
+}
+
+// aggregate is the merged observability state across all shards.
+type aggregate struct {
+	irq         obs.Histogram
+	src         []obs.Histogram
+	eventCounts map[string]uint64
+	emitted     uint64
+	dropped     uint64
+	violations  uint64
+	nearMax     uint64
+	captures    []soak.Capture
+}
+
+// envelope is one ingest-queue entry: a batch tagged with the
+// connection that produced it, or a flush sentinel (reply closed once
+// every earlier entry has been merged — FIFO order makes that exact).
+type envelope struct {
+	connID uint64
+	batch  Batch
+	flush  chan struct{}
+}
+
+// Coordinator shards one soak campaign across attached workers and
+// merges their streamed deltas into a live aggregate snapshot.
+type Coordinator struct {
+	spec     Spec // resolved: defaults applied, bound computed
+	backend  string
+	batchOps int
+	logf     func(format string, args ...any)
+
+	statePath string
+	stateKey  string
+
+	mu       sync.Mutex
+	shards   []*shardState
+	agg      aggregate
+	conns    map[uint64]io.Closer
+	nextConn uint64
+	draining bool
+	started  time.Time
+
+	// Transport health counters (exposed as fleet.* snapshot
+	// counters; excluded from the equivalence digest).
+	batches  uint64
+	dropped  uint64 // stale/foreign batches rejected by the checkpoint gate
+	mergeNS  uint64
+	restarts uint64
+
+	ingest chan envelope
+	stopCh chan struct{}
+	doneCh chan struct{} // closed when every shard completes
+	doneMu sync.Once
+	stopMu sync.Once
+
+	mergerWG sync.WaitGroup
+}
+
+// New resolves the spec (defaults, backend, WCET bound, shard
+// budgets), loads any persisted checkpoints, and starts the merger.
+// Callers must Stop it.
+func New(ctx context.Context, cfg Config) (*Coordinator, error) {
+	scfg := cfg.Spec.SoakConfig().WithDefaults()
+	backend, err := arch.Lookup(scfg.Arch)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	if scfg.BoundCycles == 0 {
+		b, err := soak.ComputeBound(ctx, scfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: bound: %w", err)
+		}
+		scfg.BoundCycles = b
+	}
+	spec := SpecFromConfig(scfg)
+	queueCap := cfg.QueueCap
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	c := &Coordinator{
+		spec:      spec,
+		backend:   backend.ID,
+		batchOps:  cfg.BatchOps,
+		logf:      cfg.Logf,
+		statePath: cfg.StatePath,
+		conns:     make(map[uint64]io.Closer),
+		started:   time.Now(),
+		ingest:    make(chan envelope, queueCap),
+		stopCh:    make(chan struct{}),
+		doneCh:    make(chan struct{}),
+	}
+	if c.batchOps <= 0 {
+		c.batchOps = 512
+	}
+	c.agg.src = make([]obs.Histogram, obs.NumOps())
+	c.agg.eventCounts = make(map[string]uint64)
+	c.shards = make([]*shardState, spec.Workers)
+	for i := range c.shards {
+		c.shards[i] = &shardState{budget: soak.ShardBudget(spec.Ops, spec.Workers, i)}
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	c.stateKey = fmt.Sprintf("%x", sha256.Sum256(specJSON))
+	if err := c.loadState(); err != nil {
+		return nil, err
+	}
+	c.checkComplete()
+	c.mergerWG.Add(1)
+	go c.merger()
+	return c, nil
+}
+
+func (c *Coordinator) logfSafe(format string, args ...any) {
+	if c.logf != nil {
+		c.logf(format, args...)
+	}
+}
+
+// Spec returns the resolved workload spec (bound computed, defaults
+// applied) — the config an equivalence check replays in-process.
+func (c *Coordinator) Spec() Spec { return c.spec }
+
+// Done is closed when every shard has reached its budget.
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// Completed reports whether every shard reached its budget.
+func (c *Coordinator) Completed() bool {
+	select {
+	case <-c.doneCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// MergedOps returns the sum of merged shard checkpoints.
+func (c *Coordinator) MergedOps() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n uint64
+	for _, sh := range c.shards {
+		n += sh.checkpoint
+	}
+	return n
+}
+
+// Serve accepts worker connections until the listener closes.
+func (c *Coordinator) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			if err := c.ServeConn(conn); err != nil {
+				c.logfSafe("fleet: conn: %v", err)
+			}
+		}()
+	}
+}
+
+// ServeConn runs one worker connection to completion: handshake,
+// shard lease, then batch ingestion until the worker finishes or the
+// connection breaks. A broken lease (connection lost before the final
+// batch) releases the shard for the next hello, counting a restart.
+func (c *Coordinator) ServeConn(conn io.ReadWriteCloser) error {
+	defer conn.Close()
+	t, body, err := readMsg(conn)
+	if err != nil {
+		return fmt.Errorf("fleet: hello: %w", err)
+	}
+	if t != msgHello {
+		return fmt.Errorf("fleet: expected hello, got type %d", t)
+	}
+	var h Hello
+	if err := json.Unmarshal(body, &h); err != nil {
+		return fmt.Errorf("fleet: bad hello: %w", err)
+	}
+	if h.Proto != protoVersion {
+		writeMsg(conn, msgDrain, nil)
+		return fmt.Errorf("fleet: protocol mismatch: worker %d speaks %d, want %d", h.PID, h.Proto, protoVersion)
+	}
+
+	c.mu.Lock()
+	shard := -1
+	if !c.draining {
+		for i, sh := range c.shards {
+			if !sh.completed && sh.owner == 0 {
+				shard = i
+				break
+			}
+		}
+	}
+	if shard < 0 {
+		c.mu.Unlock()
+		// Nothing to lease (fleet complete, draining, or every
+		// incomplete shard is still owned — possibly by a dead conn
+		// whose queued batches are mid-flush). The worker exits; a
+		// supervising spawner retries.
+		writeMsg(conn, msgDrain, nil)
+		return nil
+	}
+	c.nextConn++
+	id := c.nextConn
+	sh := c.shards[shard]
+	sh.owner = id
+	c.conns[id] = conn
+	as := Assign{
+		Shard:      shard,
+		Checkpoint: sh.checkpoint,
+		Budget:     sh.budget,
+		BatchOps:   c.batchOps,
+		Spec:       c.spec,
+	}
+	c.mu.Unlock()
+	c.logfSafe("fleet: worker pid %d leased shard %d at checkpoint %d/%d", h.PID, shard, as.Checkpoint, as.Budget)
+
+	if err := writeMsg(conn, msgAssign, as); err != nil {
+		c.release(id, shard, false)
+		return fmt.Errorf("fleet: assign: %w", err)
+	}
+
+	sawFinal := false
+	var readErr error
+	for {
+		t, body, err := readMsg(conn)
+		if err != nil {
+			if !sawFinal && !errors.Is(err, io.EOF) {
+				readErr = err
+			}
+			break
+		}
+		if t != msgBatch {
+			continue
+		}
+		var b Batch
+		if err := json.Unmarshal(body, &b); err != nil {
+			readErr = fmt.Errorf("fleet: bad batch: %w", err)
+			break
+		}
+		if b.Final {
+			sawFinal = true
+		}
+		if !c.enqueue(envelope{connID: id, batch: b}) {
+			break // coordinator stopping
+		}
+	}
+	c.release(id, shard, sawFinal)
+	return readErr
+}
+
+// enqueue blocks until the merger accepts the envelope (bounded-queue
+// backpressure) or the coordinator stops.
+func (c *Coordinator) enqueue(env envelope) bool {
+	select {
+	case c.ingest <- env:
+		return true
+	case <-c.stopCh:
+		return false
+	}
+}
+
+// release returns a shard lease. It first flushes the ingest queue so
+// every batch this connection enqueued has been merged — only then is
+// it safe to let a successor lease the shard (the successor's
+// checkpoint must include them). A lease lost before the final batch
+// counts as a restart.
+func (c *Coordinator) release(id uint64, shard int, clean bool) {
+	flush := make(chan struct{})
+	if c.enqueue(envelope{flush: flush}) {
+		select {
+		case <-flush:
+		case <-c.stopCh:
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.conns, id)
+	sh := c.shards[shard]
+	if sh.owner == id {
+		sh.owner = 0
+		if !clean && !sh.completed {
+			sh.restarts++
+			c.restarts++
+			c.logfSafe("fleet: shard %d lease lost at checkpoint %d (restart %d)", shard, sh.checkpoint, sh.restarts)
+		}
+	}
+}
+
+// merger is the single goroutine that folds batches into the
+// aggregate. One merger means no merge races and an exact,
+// order-independent result: the checkpoint gate only admits the batch
+// continuing each shard's merged prefix.
+func (c *Coordinator) merger() {
+	defer c.mergerWG.Done()
+	for {
+		select {
+		case env := <-c.ingest:
+			if env.flush != nil {
+				close(env.flush)
+				continue
+			}
+			c.merge(env.connID, env.batch)
+		case <-c.stopCh:
+			return
+		}
+	}
+}
+
+// merge applies one batch under the coordinator lock. Batches from a
+// stale lease, or not contiguous with the merged checkpoint, are
+// counted in fleet.dropped and discarded — dropping them is
+// correctness-preserving because the checkpoint only advances on
+// merge, so a successor worker regenerates exactly the dropped window.
+func (c *Coordinator) merge(connID uint64, b Batch) {
+	start := time.Now()
+	c.mu.Lock()
+	defer func() {
+		c.mergeNS += uint64(time.Since(start).Nanoseconds())
+		c.mu.Unlock()
+	}()
+	if b.Shard < 0 || b.Shard >= len(c.shards) {
+		c.dropped++
+		return
+	}
+	sh := c.shards[b.Shard]
+	if sh.owner != connID || b.FromOps != sh.checkpoint || b.ToOps < b.FromOps {
+		c.dropped++
+		return
+	}
+	irqD, err := obs.HistogramFromState(b.IRQ)
+	if err != nil {
+		c.dropped++
+		c.logfSafe("fleet: shard %d: bad irq delta: %v", b.Shard, err)
+		return
+	}
+	srcDs := make([]obs.Histogram, 0, len(b.Sources))
+	for _, sd := range b.Sources {
+		if int(sd.Op) >= obs.NumOps() {
+			c.dropped++
+			return
+		}
+		h, err := obs.HistogramFromState(sd.Hist)
+		if err != nil {
+			c.dropped++
+			c.logfSafe("fleet: shard %d: bad source delta: %v", b.Shard, err)
+			return
+		}
+		srcDs = append(srcDs, h)
+	}
+
+	c.agg.irq.Merge(&irqD)
+	for i, sd := range b.Sources {
+		c.agg.src[sd.Op].Merge(&srcDs[i])
+	}
+	for k, v := range b.EventCounts {
+		c.agg.eventCounts[k] += v
+	}
+	c.agg.emitted += b.Emitted
+	c.agg.dropped += b.Dropped
+	c.agg.violations += b.Violations
+	c.agg.nearMax += b.NearMax
+	c.agg.captures = append(c.agg.captures, b.Captures...)
+
+	now := time.Now()
+	if !sh.lastBatch.IsZero() {
+		if dt := now.Sub(sh.lastBatch).Seconds(); dt > 0 {
+			inst := float64(irqD.Count()) / dt
+			if sh.rate == 0 {
+				sh.rate = inst
+			} else {
+				sh.rate = 0.3*inst + 0.7*sh.rate
+			}
+		}
+	}
+	sh.lastBatch = now
+	sh.samples += irqD.Count()
+	sh.checkpoint = b.ToOps
+	sh.simCycles = b.SimCycles
+	c.batches++
+	if sh.checkpoint >= sh.budget {
+		sh.completed = true
+	}
+	c.checkComplete()
+	c.saveStateLocked()
+}
+
+// checkComplete closes doneCh once every shard reached its budget.
+// Caller may or may not hold mu; shard completion flags only ever go
+// false→true so a race-free read suffices under mu — New calls it
+// before the merger starts, merge under mu.
+func (c *Coordinator) checkComplete() {
+	for _, sh := range c.shards {
+		if !sh.completed {
+			return
+		}
+	}
+	c.doneMu.Do(func() { close(c.doneCh) })
+}
+
+// Drain asks every attached worker to flush and exit, then waits (up
+// to ctx) for their final batches to merge. The coordinator stays
+// queryable afterwards; no further shard leases are granted.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	conns := make([]io.Closer, 0, len(c.conns))
+	for _, cn := range c.conns {
+		conns = append(conns, cn)
+	}
+	c.mu.Unlock()
+	for _, cn := range conns {
+		if w, ok := cn.(io.Writer); ok {
+			// Write errors just mean the conn is already gone.
+			_ = writeMsg(w, msgDrain, nil)
+		}
+	}
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		c.mu.Lock()
+		n := len(c.conns)
+		c.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Stop shuts the merger down and severs any remaining connections.
+// The aggregate stays readable.
+func (c *Coordinator) Stop() {
+	c.stopMu.Do(func() { close(c.stopCh) })
+	c.mu.Lock()
+	for _, cn := range c.conns {
+		cn.Close()
+	}
+	c.mu.Unlock()
+	c.mergerWG.Wait()
+}
+
+// CloseShardConn abruptly severs the connection currently leasing a
+// shard — the chaos hook simulating a worker kill without process
+// machinery. Returns false if the shard has no live lease.
+func (c *Coordinator) CloseShardConn(shard int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if shard < 0 || shard >= len(c.shards) {
+		return false
+	}
+	cn, ok := c.conns[c.shards[shard].owner]
+	if !ok {
+		return false
+	}
+	cn.Close()
+	return true
+}
+
+// Snapshot renders the merged aggregate as the standard exposition
+// snapshot — the same document a single-process soak produces, plus
+// fleet.* transport counters.
+func (c *Coordinator) Snapshot() *obs.Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := obs.NewSnapshot()
+	s.Label = c.spec.Label
+	s.Arch = c.backend
+	s.Seed = c.spec.Seed
+	s.Workers = c.spec.Workers
+	for _, sh := range c.shards {
+		s.Ops += sh.checkpoint
+		s.SimCycles += sh.simCycles
+	}
+	s.EventsEmitted = c.agg.emitted
+	s.EventsDropped = c.agg.dropped
+	for k, v := range c.agg.eventCounts {
+		s.EventCounts[k] = v
+	}
+	s.AddIRQHistogram(&c.agg.irq)
+	for op := 0; op < len(c.agg.src); op++ {
+		if c.agg.src[op].Count() > 0 {
+			h := c.agg.src[op]
+			s.AddSourceHistogram(obs.Op(op), &h)
+		}
+	}
+	s.Bound = &obs.BoundStatus{
+		Cycles:        c.spec.BoundCycles,
+		MarginPercent: c.spec.MarginPercent,
+		Violations:    c.agg.violations,
+		NearMax:       c.agg.nearMax,
+		Captures:      uint64(len(c.agg.captures)),
+	}
+	s.Counters = map[string]uint64{
+		"fleet.batches":     c.batches,
+		"fleet.dropped":     c.dropped,
+		"fleet.merge_ns":    c.mergeNS,
+		"fleet.queue_depth": uint64(len(c.ingest)),
+		"fleet.restarts":    c.restarts,
+	}
+	return s
+}
+
+// Captures returns the merged flight-recorder dumps, each stamped with
+// the worker/seed/op identity the producing shard recorded.
+func (c *Coordinator) Captures() []soak.Capture {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]soak.Capture(nil), c.agg.captures...)
+}
+
+// EquivalenceDigest renders a snapshot's equivalence-comparable form:
+// the full JSON document minus the "counters" key (fleet transport
+// counters are real but transport-dependent; everything else —
+// histograms, digests, event counts, sentinel verdict — must match a
+// single-process soak byte-for-byte).
+func EquivalenceDigest(s *obs.Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		return nil, err
+	}
+	delete(m, "counters")
+	out, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// persistedState is the coordinator's checkpoint file: merged shard
+// watermarks keyed by the resolved spec hash.
+type persistedState struct {
+	Key         string   `json:"key"`
+	Checkpoints []uint64 `json:"checkpoints"`
+	SimCycles   []uint64 `json:"sim_cycles"`
+}
+
+func (c *Coordinator) loadState() error {
+	if c.statePath == "" {
+		return nil
+	}
+	b, err := os.ReadFile(c.statePath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var st persistedState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return fmt.Errorf("fleet: state %s: %w", c.statePath, err)
+	}
+	if st.Key != c.stateKey {
+		return fmt.Errorf("fleet: state %s belongs to a different campaign (key %.12s, want %.12s)", c.statePath, st.Key, c.stateKey)
+	}
+	if len(st.Checkpoints) != len(c.shards) || len(st.SimCycles) != len(c.shards) {
+		return fmt.Errorf("fleet: state %s has %d shards, want %d", c.statePath, len(st.Checkpoints), len(c.shards))
+	}
+	for i, sh := range c.shards {
+		if st.Checkpoints[i] > sh.budget {
+			return fmt.Errorf("fleet: state %s shard %d checkpoint %d exceeds budget %d", c.statePath, i, st.Checkpoints[i], sh.budget)
+		}
+		sh.checkpoint = st.Checkpoints[i]
+		sh.simCycles = st.SimCycles[i]
+		sh.completed = sh.checkpoint >= sh.budget
+	}
+	c.logfSafe("fleet: resumed campaign from %s (%d shards)", c.statePath, len(c.shards))
+	return nil
+}
+
+// saveStateLocked persists checkpoints atomically (temp + rename).
+// Note the histograms are NOT persisted: a resumed coordinator's
+// aggregate restarts empty and re-accumulates only the remaining
+// window, so cross-restart aggregates are partial by design — the
+// checkpoint file's job is to not lose (or redo) op budget.
+func (c *Coordinator) saveStateLocked() {
+	if c.statePath == "" {
+		return
+	}
+	st := persistedState{Key: c.stateKey}
+	for _, sh := range c.shards {
+		st.Checkpoints = append(st.Checkpoints, sh.checkpoint)
+		st.SimCycles = append(st.SimCycles, sh.simCycles)
+	}
+	b, err := json.MarshalIndent(st, "", " ")
+	if err != nil {
+		return
+	}
+	tmp := c.statePath + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		c.logfSafe("fleet: persist: %v", err)
+		return
+	}
+	if err := os.Rename(tmp, c.statePath); err != nil {
+		c.logfSafe("fleet: persist: %v", err)
+	}
+}
+
+// StateDirDefault returns a conventional state path beside an output
+// file, for CLI wiring.
+func StateDirDefault(out string) string {
+	if out == "" {
+		return ""
+	}
+	return filepath.Join(filepath.Dir(out), "fleet-state.json")
+}

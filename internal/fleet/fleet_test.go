@@ -1,0 +1,401 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"verikern/internal/kernel"
+	"verikern/internal/soak"
+)
+
+// fleetSpec is the test campaign: the modern kernel, multi-shard.
+func fleetSpec(ops uint64, workers int) Spec {
+	kcfg := kernel.Modern()
+	kcfg.CheckInvariants = false
+	return Spec{
+		Label:   "fleet-test",
+		Seed:    42,
+		Ops:     ops,
+		Workers: workers,
+		Kernel:  kcfg,
+	}
+}
+
+// digestFleet runs a local fleet campaign and returns its equivalence
+// digest plus the coordinator for further inspection.
+func digestFleet(t *testing.T, cfg Config, opt LocalOptions) ([]byte, *Coordinator) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	c, err := RunLocal(ctx, cfg, opt)
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	if !c.Completed() {
+		t.Fatalf("fleet did not complete: %+v", c.Status())
+	}
+	d, err := EquivalenceDigest(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, c
+}
+
+// digestSingle runs the same campaign as a single-process N-worker
+// soak and returns its equivalence digest.
+func digestSingle(t *testing.T, sp Spec) []byte {
+	t.Helper()
+	rep, err := soak.Run(context.Background(), sp.SoakConfig())
+	if err != nil {
+		t.Fatalf("single-process soak: %v", err)
+	}
+	d, err := EquivalenceDigest(rep.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestFleetEquivalence is the keystone: an N-worker fleet — sharded
+// over the wire protocol, streamed as deltas, merged by the
+// coordinator — produces a snapshot byte-identical to a single-process
+// N-worker soak at the same seed.
+func TestFleetEquivalence(t *testing.T) {
+	sp := fleetSpec(3000, 3)
+	fleet, c := digestFleet(t, Config{Spec: sp, BatchOps: 257}, LocalOptions{})
+	single := digestSingle(t, sp)
+	if !bytes.Equal(fleet, single) {
+		t.Errorf("fleet snapshot diverges from single-process soak:\n--- fleet ---\n%s\n--- single ---\n%s", fleet, single)
+	}
+	st := c.Status()
+	if st.Restarts != 0 {
+		t.Errorf("clean campaign counted %d restarts", st.Restarts)
+	}
+	if st.Dropped != 0 {
+		t.Errorf("clean campaign dropped %d batches", st.Dropped)
+	}
+	if st.MergedOps != sp.Ops {
+		t.Errorf("merged %d ops, want %d", st.MergedOps, sp.Ops)
+	}
+	snap := c.Snapshot()
+	if snap.Counters["fleet.batches"] == 0 {
+		t.Error("no batches counted")
+	}
+}
+
+// TestFleetKillRestartEquivalence kills worker connections
+// mid-campaign: replacements must fast-forward to the merged
+// checkpoint and resume streaming with no lost and no double-counted
+// samples — the merged snapshot still matches the single-process run
+// byte-for-byte.
+func TestFleetKillRestartEquivalence(t *testing.T) {
+	sp := fleetSpec(6000, 3)
+	fleet, c := digestFleet(t, Config{Spec: sp, BatchOps: 251}, LocalOptions{ChaosKills: 2})
+	single := digestSingle(t, sp)
+	if !bytes.Equal(fleet, single) {
+		t.Errorf("post-kill fleet snapshot diverges from single-process soak:\n--- fleet ---\n%s\n--- single ---\n%s", fleet, single)
+	}
+	st := c.Status()
+	if st.Restarts == 0 {
+		t.Error("chaos kills produced no restarts — the restart path went unexercised")
+	}
+	var restarts int
+	for _, sh := range st.Shards {
+		restarts += sh.Restarts
+	}
+	if uint64(restarts) != st.Restarts {
+		t.Errorf("per-shard restarts sum %d != aggregate %d", restarts, st.Restarts)
+	}
+}
+
+// dialHello opens a raw protocol connection to a coordinator and
+// completes the hello, returning the client end and the assign (nil
+// payload if the coordinator drained us).
+func dialHello(t *testing.T, c *Coordinator) (net.Conn, *Assign) {
+	t.Helper()
+	server, client := net.Pipe()
+	go c.ServeConn(server)
+	if err := writeMsg(client, msgHello, Hello{Proto: protoVersion, PID: 99}); err != nil {
+		t.Fatal(err)
+	}
+	mt, body, err := readMsg(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch mt {
+	case msgDrain:
+		return client, nil
+	case msgAssign:
+		var as Assign
+		if err := json.Unmarshal(body, &as); err != nil {
+			t.Fatal(err)
+		}
+		return client, &as
+	default:
+		t.Fatalf("unexpected reply type %d", mt)
+		return nil, nil
+	}
+}
+
+// waitCounter polls a snapshot counter until it reaches want.
+func waitCounter(t *testing.T, c *Coordinator, name string, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Snapshot().Counters[name] >= want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("counter %s never reached %d (snapshot: %+v)", name, want, c.Snapshot().Counters)
+}
+
+// TestFleetStaleBatchDropped checks the checkpoint gate: batches that
+// do not continue the merged prefix, or come from a connection that
+// does not own the shard, are counted in fleet.dropped and change
+// nothing.
+func TestFleetStaleBatchDropped(t *testing.T) {
+	ctx := context.Background()
+	sp := fleetSpec(1000, 2)
+	sp.BoundCycles = 142_957 // skip analysis; the gate is the subject
+	c, err := New(ctx, Config{Spec: sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	client, as := dialHello(t, c)
+	defer client.Close()
+	if as == nil {
+		t.Fatal("no shard leased")
+	}
+	if as.Shard != 0 || as.Checkpoint != 0 || as.Budget != soak.ShardBudget(sp.Ops, 2, 0) {
+		t.Fatalf("unexpected lease: %+v", as)
+	}
+
+	// Not contiguous with the checkpoint (5 != 0) → dropped.
+	stale := Batch{Shard: 0, FromOps: 5, ToOps: 10}
+	if err := writeMsg(client, msgBatch, stale); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, c, "fleet.dropped", 1)
+
+	// A shard this connection does not own → dropped.
+	foreign := Batch{Shard: 1, FromOps: 0, ToOps: 5}
+	if err := writeMsg(client, msgBatch, foreign); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, c, "fleet.dropped", 2)
+
+	// A contiguous (empty) batch advances the checkpoint...
+	ok := Batch{Shard: 0, FromOps: 0, ToOps: 7}
+	if err := writeMsg(client, msgBatch, ok); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, c, "fleet.batches", 1)
+	if st := c.Status(); st.Shards[0].Checkpoint != 7 {
+		t.Errorf("checkpoint = %d, want 7", st.Shards[0].Checkpoint)
+	}
+
+	// ...after which a replay of the same window is stale → dropped.
+	if err := writeMsg(client, msgBatch, ok); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, c, "fleet.dropped", 3)
+	if st := c.Status(); st.Shards[0].Checkpoint != 7 {
+		t.Errorf("stale replay moved the checkpoint to %d", st.Shards[0].Checkpoint)
+	}
+}
+
+// TestFleetDrain checks graceful drain: workers flush and exit, the
+// partial merge is preserved, nothing is dropped, and no new shard
+// leases are granted afterwards.
+func TestFleetDrain(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	sp := fleetSpec(200_000, 1)
+	sp.BoundCycles = 142_957
+	c, err := New(ctx, Config{Spec: sp, BatchOps: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	server, client := net.Pipe()
+	go c.ServeConn(server)
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- RunWorker(ctx, client, WorkerOptions{}) }()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for c.MergedOps() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if c.MergedOps() == 0 {
+		t.Fatal("no progress before drain")
+	}
+	if err := c.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := <-workerDone; err != nil {
+		t.Errorf("worker exited with error after drain: %v", err)
+	}
+	st := c.Status()
+	if st.Completed {
+		t.Error("drained campaign reports completed")
+	}
+	if st.MergedOps == 0 || st.MergedOps >= sp.Ops {
+		t.Errorf("merged ops %d after drain", st.MergedOps)
+	}
+	if st.Dropped != 0 {
+		t.Errorf("drain dropped %d batches", st.Dropped)
+	}
+	// A fresh hello while draining gets no lease.
+	client2, as := dialHello(t, c)
+	defer client2.Close()
+	if as != nil {
+		t.Errorf("draining coordinator leased shard %d", as.Shard)
+	}
+}
+
+// TestFleetStateResume checks the coordinator's checkpoint file: a
+// second coordinator over the same StatePath resumes the campaign
+// where the first left off instead of redoing merged ops, and a
+// different campaign is rejected.
+func TestFleetStateResume(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	statePath := filepath.Join(t.TempDir(), "fleet-state.json")
+	sp := fleetSpec(2000, 2)
+	sp.BoundCycles = 142_957
+
+	// Campaign leg 1: complete shard 0 only.
+	c1, err := New(ctx, Config{Spec: sp, StatePath: statePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	go c1.ServeConn(server)
+	if err := RunWorker(ctx, client, WorkerOptions{}); err != nil {
+		t.Fatalf("leg-1 worker: %v", err)
+	}
+	// The worker has flushed, but the merger drains its queue
+	// asynchronously; wait for the shard to complete.
+	deadline := time.Now().Add(10 * time.Second)
+	for !c1.Status().Shards[0].Completed && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := c1.Status()
+	if !st.Shards[0].Completed || st.Shards[1].Checkpoint != 0 {
+		t.Fatalf("leg 1 state unexpected: %+v", st.Shards)
+	}
+	c1.Stop()
+
+	// A different campaign over the same state file must be refused.
+	other := sp
+	other.Seed = 7
+	if _, err := New(ctx, Config{Spec: other, StatePath: statePath}); err == nil {
+		t.Error("foreign campaign accepted a mismatched state file")
+	}
+
+	// Campaign leg 2: resumes; only shard 1 is leased.
+	c2, err := New(ctx, Config{Spec: sp, StatePath: statePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Stop()
+	st = c2.Status()
+	if !st.Shards[0].Completed || st.MergedOps != soak.ShardBudget(sp.Ops, 2, 0) {
+		t.Fatalf("leg 2 did not resume: %+v", st.Shards)
+	}
+	server2, client2 := net.Pipe()
+	go c2.ServeConn(server2)
+	done2 := make(chan error, 1)
+	go func() { done2 <- RunWorker(ctx, client2, WorkerOptions{}) }()
+	select {
+	case <-c2.Done():
+	case <-ctx.Done():
+		t.Fatal("leg 2 never completed")
+	}
+	if err := <-done2; err != nil {
+		t.Fatalf("leg-2 worker: %v", err)
+	}
+	st = c2.Status()
+	if st.MergedOps != sp.Ops || st.Restarts != 0 {
+		t.Errorf("leg 2 final state: merged %d restarts %d", st.MergedOps, st.Restarts)
+	}
+	// The leg-2 aggregate covers only shard 1's window by design
+	// (checkpoints persist; histograms do not).
+	if got := c2.Snapshot().Ops; got != sp.Ops {
+		t.Errorf("resumed snapshot ops %d, want %d", got, sp.Ops)
+	}
+}
+
+// TestFleetProtocolMismatch checks a worker speaking the wrong
+// protocol version is refused without a lease.
+func TestFleetProtocolMismatch(t *testing.T) {
+	sp := fleetSpec(1000, 1)
+	sp.BoundCycles = 142_957
+	c, err := New(context.Background(), Config{Spec: sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	server, client := net.Pipe()
+	go c.ServeConn(server)
+	if err := writeMsg(client, msgHello, Hello{Proto: protoVersion + 1, PID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	mt, _, err := readMsg(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != msgDrain {
+		t.Errorf("mismatched worker got message type %d, want drain", mt)
+	}
+	if st := c.Status(); st.Shards[0].Attached {
+		t.Error("mismatched worker holds a lease")
+	}
+}
+
+// TestWireRoundTrip pins the framing: length prefix, type byte, JSON
+// payload, and the oversize/corrupt-length guards.
+func TestWireRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Assign{Shard: 3, Checkpoint: 100, Budget: 500, BatchOps: 64, Spec: fleetSpec(500, 4)}
+	if err := writeMsg(&buf, msgAssign, in); err != nil {
+		t.Fatal(err)
+	}
+	mt, body, err := readMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != msgAssign {
+		t.Fatalf("type %d", mt)
+	}
+	var out Assign
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Shard != in.Shard || out.Budget != in.Budget || out.Spec.Seed != in.Spec.Seed {
+		t.Errorf("round trip: %+v", out)
+	}
+	// A nil-payload frame (drain) reads back empty.
+	buf.Reset()
+	if err := writeMsg(&buf, msgDrain, nil); err != nil {
+		t.Fatal(err)
+	}
+	mt, body, err = readMsg(&buf)
+	if err != nil || mt != msgDrain || len(body) != 0 {
+		t.Errorf("drain frame: type %d body %d err %v", mt, len(body), err)
+	}
+	// A corrupt length prefix is rejected before allocation.
+	if _, _, err := readMsg(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff, 0})); err == nil {
+		t.Error("oversized frame length accepted")
+	}
+	if _, _, err := readMsg(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Error("zero frame length accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+
+	"verikern/internal/obs"
+)
+
+// NewMux builds the observatory HTTP surface shared by `kzm-sim
+// -serve` and the fleet coordinator:
+//
+//	/metrics        Prometheus text exposition + build_info
+//	/snapshot.json  the merged JSON snapshot
+//	/fleet.json     per-shard fleet health (only when status != nil)
+//	/debug/pprof/*  the standard runtime profiler endpoints
+//
+// snapshot is called per request, so handlers always render live
+// state; both callbacks must be safe for concurrent use.
+func NewMux(snapshot func() *obs.Snapshot, status func() Status) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s := snapshot()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := s.WritePrometheus(w); err != nil {
+			return
+		}
+		writeBuildInfo(w, s.Arch)
+	})
+	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = snapshot().WriteJSON(w)
+	})
+	if status != nil {
+		mux.HandleFunc("/fleet.json", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			b, err := json.MarshalIndent(status(), "", " ")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Write(append(b, '\n'))
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writeBuildInfo appends the build-identity info metric to a
+// Prometheus exposition: which Go toolchain, host platform and
+// simulated arch backend this observatory process runs.
+func writeBuildInfo(w http.ResponseWriter, archID string) {
+	if archID == "" {
+		archID = "unknown"
+	}
+	fmt.Fprintf(w, "# HELP verikern_build_info Build and architecture identity of this observatory process.\n")
+	fmt.Fprintf(w, "# TYPE verikern_build_info gauge\n")
+	fmt.Fprintf(w, "verikern_build_info{go_version=%q,host=%q,arch=%q,pid=\"%d\"} 1\n",
+		runtime.Version(), runtime.GOOS+"/"+runtime.GOARCH, archID, os.Getpid())
+}

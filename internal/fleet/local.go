@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+)
+
+// LocalOptions tunes RunLocal.
+type LocalOptions struct {
+	// ChaosKills abruptly severs this many worker connections
+	// mid-campaign (after roughly a third of the budget has merged),
+	// exercising the kill/restart/fast-forward path. The supervisor
+	// replaces each killed worker, so the campaign still completes.
+	ChaosKills int
+	// Logf receives progress lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// RunLocal drives a whole fleet campaign in one process: a coordinator
+// plus in-process workers connected over net.Pipe, supervised so that
+// killed or drained workers are replaced until every shard completes.
+// It returns the coordinator (stopped, fully merged) for inspection.
+//
+// This is the reference harness for the equal-seed equivalence proof:
+// everything — sharding, wire protocol, delta merge, kill/restart —
+// runs exactly as in the multi-process deployment, minus the TCP.
+func RunLocal(ctx context.Context, cfg Config, opt LocalOptions) (*Coordinator, error) {
+	c, err := New(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	workerCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var mu sync.Mutex
+	var live []net.Conn // coordinator-side ends, for chaos kills
+	kills := 0
+
+	var wg sync.WaitGroup
+	spawn := func() {
+		server, client := net.Pipe()
+		mu.Lock()
+		live = append(live, server)
+		mu.Unlock()
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_ = c.ServeConn(server)
+			mu.Lock()
+			for i, cn := range live {
+				if cn == server {
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+			mu.Unlock()
+		}()
+		go func() {
+			defer wg.Done()
+			_ = RunWorker(workerCtx, client, WorkerOptions{Logf: opt.Logf})
+		}()
+	}
+	for i := 0; i < c.spec.Workers; i++ {
+		spawn()
+	}
+
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+supervise:
+	for {
+		select {
+		case <-c.Done():
+			break supervise
+		case <-ctx.Done():
+			cancel()
+			wg.Wait()
+			c.Stop()
+			return c, ctx.Err()
+		case <-tick.C:
+		}
+		if kills < opt.ChaosKills && c.MergedOps() > c.spec.Ops/3 {
+			mu.Lock()
+			var victim net.Conn
+			if len(live) > 0 {
+				victim = live[0]
+			}
+			mu.Unlock()
+			if victim != nil {
+				victim.Close()
+				kills++
+				if opt.Logf != nil {
+					opt.Logf("fleet: chaos kill %d/%d", kills, opt.ChaosKills)
+				}
+			}
+		}
+		// Keep enough workers alive for the incomplete shards: a
+		// killed (or drained) worker's replacement leases the freed
+		// shard and fast-forwards to its checkpoint.
+		st := c.Status()
+		incomplete, attached := 0, 0
+		for _, sh := range st.Shards {
+			if !sh.Completed {
+				incomplete++
+				if sh.Attached {
+					attached++
+				}
+			}
+		}
+		mu.Lock()
+		liveN := len(live)
+		mu.Unlock()
+		if incomplete > 0 && liveN < incomplete && attached < incomplete {
+			spawn()
+		}
+	}
+	cancel()
+	wg.Wait()
+	c.Stop()
+	return c, nil
+}

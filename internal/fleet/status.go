@@ -1,0 +1,114 @@
+package fleet
+
+import "time"
+
+// ShardStatus is one shard's health row in /fleet.json.
+type ShardStatus struct {
+	Shard    int  `json:"shard"`
+	Attached bool `json:"attached"`
+	// Completed means the shard's checkpoint reached its budget.
+	Completed bool `json:"completed"`
+	// Checkpoint is the merged op watermark; Budget the shard's total
+	// op share; LagOps what remains.
+	Checkpoint uint64 `json:"checkpoint"`
+	Budget     uint64 `json:"budget"`
+	LagOps     uint64 `json:"lag_ops"`
+	// SimCycles is the shard's cumulative simulated clock.
+	SimCycles uint64 `json:"sim_cycles"`
+	// Restarts counts lost leases (worker kills, broken conns).
+	Restarts int `json:"restarts"`
+	// Samples is the merged IRQ sample count; SamplesPerSec an EWMA
+	// of the shard's recent merge rate.
+	Samples       uint64  `json:"samples"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	// LastBatchAgeMS is the wall time since the last merged batch
+	// (-1 before the first).
+	LastBatchAgeMS int64 `json:"last_batch_age_ms"`
+}
+
+// Status is the /fleet.json document: campaign identity, aggregate
+// progress and transport health, plus one row per shard.
+type Status struct {
+	Label   string `json:"label"`
+	Arch    string `json:"arch"`
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers"`
+	// TotalOps / MergedOps measure campaign progress.
+	TotalOps  uint64 `json:"total_ops"`
+	MergedOps uint64 `json:"merged_ops"`
+	Completed bool   `json:"completed"`
+	Draining  bool   `json:"draining"`
+	// Samples is the merged IRQ sample total; SamplesPerSec the
+	// wall-clock average since the coordinator started.
+	Samples       uint64  `json:"samples"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	// UptimeMS is wall time since the coordinator started.
+	UptimeMS int64 `json:"uptime_ms"`
+	// Transport health: merged batch count, batches rejected by the
+	// checkpoint gate, cumulative merge time, current ingest-queue
+	// depth, and total lost leases.
+	Batches    uint64 `json:"batches"`
+	Dropped    uint64 `json:"dropped"`
+	MergeNS    uint64 `json:"merge_ns"`
+	QueueDepth int    `json:"queue_depth"`
+	Restarts   uint64 `json:"restarts"`
+
+	Shards []ShardStatus `json:"shards"`
+}
+
+// Status assembles the live fleet-health document.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	st := Status{
+		Label:      c.spec.Label,
+		Arch:       c.backend,
+		Seed:       c.spec.Seed,
+		Workers:    c.spec.Workers,
+		TotalOps:   c.spec.Ops,
+		Draining:   c.draining,
+		UptimeMS:   now.Sub(c.started).Milliseconds(),
+		Batches:    c.batches,
+		Dropped:    c.dropped,
+		MergeNS:    c.mergeNS,
+		QueueDepth: len(c.ingest),
+		Restarts:   c.restarts,
+	}
+	st.Completed = true
+	for i, sh := range c.shards {
+		row := ShardStatus{
+			Shard:          i,
+			Attached:       sh.owner != 0,
+			Completed:      sh.completed,
+			Checkpoint:     sh.checkpoint,
+			Budget:         sh.budget,
+			LagOps:         sh.budget - min64(sh.checkpoint, sh.budget),
+			SimCycles:      sh.simCycles,
+			Restarts:       sh.restarts,
+			Samples:        sh.samples,
+			SamplesPerSec:  sh.rate,
+			LastBatchAgeMS: -1,
+		}
+		if !sh.lastBatch.IsZero() {
+			row.LastBatchAgeMS = now.Sub(sh.lastBatch).Milliseconds()
+		}
+		st.MergedOps += sh.checkpoint
+		st.Samples += sh.samples
+		if !sh.completed {
+			st.Completed = false
+		}
+		st.Shards = append(st.Shards, row)
+	}
+	if up := now.Sub(c.started).Seconds(); up > 0 {
+		st.SamplesPerSec = float64(st.Samples) / up
+	}
+	return st
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

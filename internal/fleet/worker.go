@@ -1,0 +1,264 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"verikern/internal/obs"
+	"verikern/internal/soak"
+)
+
+// WorkerOptions tunes RunWorker.
+type WorkerOptions struct {
+	// Logf receives progress lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (o WorkerOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// RunWorker drives one fleet worker over an established connection:
+// hello, receive the shard lease, deterministically fast-forward to
+// the merged checkpoint (a restarted worker regenerates — without
+// streaming — exactly the ops the coordinator already merged), then
+// step-and-stream delta batches until the shard budget is spent, the
+// coordinator drains, or ctx is cancelled. The final batch is marked
+// Final and the connection closed.
+func RunWorker(ctx context.Context, conn io.ReadWriteCloser, opt WorkerOptions) error {
+	defer conn.Close()
+	if err := writeMsg(conn, msgHello, Hello{Proto: protoVersion, PID: os.Getpid()}); err != nil {
+		return fmt.Errorf("fleet worker: hello: %w", err)
+	}
+	t, body, err := readMsg(conn)
+	if err != nil {
+		return fmt.Errorf("fleet worker: awaiting assign: %w", err)
+	}
+	if t == msgDrain {
+		opt.logf("fleet worker: no shard available, exiting")
+		return nil
+	}
+	if t != msgAssign {
+		return fmt.Errorf("fleet worker: unexpected message type %d", t)
+	}
+	var as Assign
+	if err := json.Unmarshal(body, &as); err != nil {
+		return fmt.Errorf("fleet worker: bad assign: %w", err)
+	}
+	cfg := as.Spec.SoakConfig().WithDefaults()
+	if cfg.MachineReplay {
+		// The plan never crosses the wire; the analysis pipeline is
+		// deterministic, so a local rebuild yields the identical plan.
+		plan, err := soak.BuildReplayPlan(ctx, cfg)
+		if err != nil {
+			return fmt.Errorf("fleet worker: replay plan: %w", err)
+		}
+		cfg.Replay = plan
+	}
+	rn, err := soak.NewRunner(cfg, as.Shard)
+	if err != nil {
+		return fmt.Errorf("fleet worker: shard %d: %w", as.Shard, err)
+	}
+	opt.logf("fleet worker %d: shard %d, checkpoint %d/%d", os.Getpid(), as.Shard, as.Checkpoint, as.Budget)
+
+	// Fast-forward: replay the already-merged prefix silently. The op
+	// stream is seeded per shard, so this reconstructs the exact
+	// kernel and tracer state the previous incarnation had at the
+	// checkpoint — including the capture list, which the cursor then
+	// baselines so nothing is re-streamed.
+	const ffChunk = 256
+	for rn.Ops() < as.Checkpoint {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n := as.Checkpoint - rn.Ops()
+		if n > ffChunk {
+			n = ffChunk
+		}
+		if err := rn.Step(int(n)); err != nil {
+			return fmt.Errorf("fleet worker: fast-forward: %w", err)
+		}
+	}
+	cur := newCursor(as.Shard)
+	if as.Checkpoint > 0 {
+		// Restart: everything up to the checkpoint — including the
+		// boot-time trace events — was merged by the previous
+		// incarnation's batches; baseline it all away.
+		cur.sync(rn)
+	}
+	// Fresh shard: keep the zero baseline, so the first batch carries
+	// the boot-time events (object creation emits create-chunk events
+	// before the first op) exactly as an in-process AddTracer would.
+
+	// The reader goroutine watches for the coordinator's drain (or a
+	// dead connection) while the main loop steps the kernel.
+	drainCh := make(chan struct{})
+	lostCh := make(chan struct{})
+	go func() {
+		for {
+			t, _, err := readMsg(conn)
+			if err != nil {
+				close(lostCh)
+				return
+			}
+			if t == msgDrain {
+				close(drainCh)
+				return
+			}
+		}
+	}()
+
+	batchOps := as.BatchOps
+	if batchOps <= 0 {
+		batchOps = 512
+	}
+	for {
+		final := false
+		select {
+		case <-ctx.Done():
+			final = true
+		case <-drainCh:
+			final = true
+		case <-lostCh:
+			return fmt.Errorf("fleet worker: connection lost")
+		default:
+		}
+		remaining := uint64(0)
+		if as.Budget > rn.Ops() {
+			remaining = as.Budget - rn.Ops()
+		}
+		if remaining == 0 {
+			final = true
+		}
+		if !final {
+			n := uint64(batchOps)
+			if n > remaining {
+				n = remaining
+			}
+			if err := rn.Step(int(n)); err != nil {
+				return fmt.Errorf("fleet worker: shard %d: %w", as.Shard, err)
+			}
+			if rn.Ops() >= as.Budget {
+				final = true
+			}
+		}
+		b, err := cur.batch(rn)
+		if err != nil {
+			return fmt.Errorf("fleet worker: delta: %w", err)
+		}
+		b.Final = final
+		if err := writeMsg(conn, msgBatch, b); err != nil {
+			return fmt.Errorf("fleet worker: stream: %w", err)
+		}
+		if final {
+			opt.logf("fleet worker %d: shard %d done at %d ops", os.Getpid(), as.Shard, rn.Ops())
+			return nil
+		}
+	}
+}
+
+// cursor tracks what a worker has already streamed, so each batch
+// carries exactly the window since the previous one. After a restart's
+// fast-forward, sync re-baselines everything (including the capture
+// count) at the merged checkpoint.
+type cursor struct {
+	shard        int
+	prevOps      uint64
+	prevIRQ      obs.Histogram
+	prevSrc      []obs.Histogram
+	prevKinds    []uint64
+	prevEmitted  uint64
+	prevDropped  uint64
+	prevViol     uint64
+	prevNearMax  uint64
+	sentCaptures int
+}
+
+func newCursor(shard int) *cursor {
+	return &cursor{
+		shard:     shard,
+		prevSrc:   make([]obs.Histogram, obs.NumOps()),
+		prevKinds: make([]uint64, obs.NumKinds()),
+	}
+}
+
+// sync baselines the cursor at the runner's current state: everything
+// up to here is considered already merged upstream.
+func (c *cursor) sync(rn *soak.Runner) {
+	tr := rn.Tracer()
+	c.prevOps = rn.Ops()
+	c.prevIRQ = tr.Latencies()
+	for i := range c.prevSrc {
+		c.prevSrc[i] = obs.Histogram{}
+	}
+	for _, sl := range tr.SourceLatencies() {
+		c.prevSrc[sl.Source] = sl.Hist
+	}
+	for k := range c.prevKinds {
+		c.prevKinds[k] = tr.Count(obs.Kind(k))
+	}
+	c.prevEmitted = tr.Emitted()
+	c.prevDropped = tr.Dropped()
+	st := rn.SentinelStatus()
+	c.prevViol = st.Violations
+	c.prevNearMax = st.NearMax
+	c.sentCaptures = len(rn.Captures())
+}
+
+// batch extracts the delta window since the last batch (or sync) and
+// advances the cursor.
+func (c *cursor) batch(rn *soak.Runner) (Batch, error) {
+	tr := rn.Tracer()
+	b := Batch{
+		Shard:     c.shard,
+		FromOps:   c.prevOps,
+		ToOps:     rn.Ops(),
+		SimCycles: rn.Kernel().Now(),
+	}
+	irq := tr.Latencies()
+	d, err := irq.DeltaSince(&c.prevIRQ)
+	if err != nil {
+		return b, err
+	}
+	b.IRQ = d.State()
+	c.prevIRQ = irq
+	for _, sl := range tr.SourceLatencies() {
+		h := sl.Hist
+		sd, err := h.DeltaSince(&c.prevSrc[sl.Source])
+		if err != nil {
+			return b, err
+		}
+		if sd.Count() > 0 {
+			b.Sources = append(b.Sources, SourceDelta{Op: uint8(sl.Source), Hist: sd.State()})
+		}
+		c.prevSrc[sl.Source] = h
+	}
+	for k := range c.prevKinds {
+		if cnt := tr.Count(obs.Kind(k)); cnt > c.prevKinds[k] {
+			if b.EventCounts == nil {
+				b.EventCounts = make(map[string]uint64)
+			}
+			b.EventCounts[obs.Kind(k).String()] = cnt - c.prevKinds[k]
+			c.prevKinds[k] = cnt
+		}
+	}
+	em, dr := tr.Emitted(), tr.Dropped()
+	b.Emitted, b.Dropped = em-c.prevEmitted, dr-c.prevDropped
+	c.prevEmitted, c.prevDropped = em, dr
+	st := rn.SentinelStatus()
+	b.Violations = st.Violations - c.prevViol
+	b.NearMax = st.NearMax - c.prevNearMax
+	c.prevViol, c.prevNearMax = st.Violations, st.NearMax
+	caps := rn.Captures()
+	if len(caps) > c.sentCaptures {
+		b.Captures = append([]soak.Capture(nil), caps[c.sentCaptures:]...)
+		c.sentCaptures = len(caps)
+	}
+	c.prevOps = rn.Ops()
+	return b, nil
+}

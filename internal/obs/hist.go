@@ -1,6 +1,9 @@
 package obs
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // numBuckets covers the full uint64 range: bucket 0 holds the value 0,
 // bucket i (1 <= i <= 64) holds values v with bits.Len64(v) == i, i.e.
@@ -110,6 +113,94 @@ func (h *Histogram) BucketCount(i int) uint64 {
 		return 0
 	}
 	return h.counts[i]
+}
+
+// BucketCountEntry is one non-empty bucket of a HistogramState:
+// Bucket is the histogram bucket index, Count its sample count.
+type BucketCountEntry struct {
+	Bucket int    `json:"b"`
+	Count  uint64 `json:"c"`
+}
+
+// HistogramState is the serialisable form of a Histogram — the fleet
+// wire protocol streams these (sparse: only non-empty buckets). The
+// round trip State → HistogramFromState is exact.
+type HistogramState struct {
+	Buckets []BucketCountEntry `json:"buckets,omitempty"`
+	Total   uint64             `json:"total"`
+	Sum     uint64             `json:"sum"`
+	Max     uint64             `json:"max"`
+	Min     uint64             `json:"min"`
+}
+
+// State captures the histogram's current contents as a serialisable
+// HistogramState.
+func (h *Histogram) State() HistogramState {
+	st := HistogramState{Total: h.total, Sum: h.sum, Max: h.max, Min: h.min}
+	for i, c := range h.counts {
+		if c > 0 {
+			st.Buckets = append(st.Buckets, BucketCountEntry{Bucket: i, Count: c})
+		}
+	}
+	return st
+}
+
+// HistogramFromState reconstructs a Histogram from its wire state,
+// validating that bucket indices are in range and that the bucket
+// counts sum to Total — a malformed or truncated frame must not merge
+// into an aggregate.
+func HistogramFromState(st HistogramState) (Histogram, error) {
+	var h Histogram
+	var sum uint64
+	for _, b := range st.Buckets {
+		if b.Bucket < 0 || b.Bucket >= numBuckets {
+			return Histogram{}, fmt.Errorf("obs: histogram state: bucket %d out of range", b.Bucket)
+		}
+		if h.counts[b.Bucket] != 0 {
+			return Histogram{}, fmt.Errorf("obs: histogram state: duplicate bucket %d", b.Bucket)
+		}
+		h.counts[b.Bucket] = b.Count
+		sum += b.Count
+	}
+	if sum != st.Total {
+		return Histogram{}, fmt.Errorf("obs: histogram state: bucket counts sum to %d, total says %d", sum, st.Total)
+	}
+	h.total = st.Total
+	h.sum = st.Sum
+	h.max = st.Max
+	h.min = st.Min
+	return h, nil
+}
+
+// DeltaSince returns the histogram of samples recorded after prev was
+// captured, where prev is an earlier snapshot of the same histogram:
+// bucket counts, total and sum subtract exactly. Min and Max carry h's
+// *cumulative* values — a window's true extrema are unrecoverable from
+// two snapshots — which is exactly right for telescoping delta merges:
+// an aggregate that has merged every delta of a worker holds that
+// worker's cumulative min/max, so cross-worker merges still produce the
+// global extrema. Errors if prev is not an earlier snapshot (some count
+// would go negative).
+func (h *Histogram) DeltaSince(prev *Histogram) (Histogram, error) {
+	var d Histogram
+	if prev == nil {
+		return *h, nil
+	}
+	if prev.total > h.total || prev.sum > h.sum {
+		return Histogram{}, fmt.Errorf("obs: histogram delta: prev is not an earlier snapshot (total %d > %d or sum %d > %d)",
+			prev.total, h.total, prev.sum, h.sum)
+	}
+	for i := range h.counts {
+		if prev.counts[i] > h.counts[i] {
+			return Histogram{}, fmt.Errorf("obs: histogram delta: bucket %d shrank (%d > %d)", i, prev.counts[i], h.counts[i])
+		}
+		d.counts[i] = h.counts[i] - prev.counts[i]
+	}
+	d.total = h.total - prev.total
+	d.sum = h.sum - prev.sum
+	d.max = h.max
+	d.min = h.min
+	return d, nil
 }
 
 // Quantile returns a conservative upper bound on the q-quantile

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHistogramStateRoundTrip checks State → HistogramFromState is
+// exact, including extrema and empty histograms.
+func TestHistogramStateRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 7, 300, 300, 1 << 40, ^uint64(0)} {
+		h.Record(v)
+	}
+	got, err := HistogramFromState(h.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("round trip: got %+v want %+v", got, h)
+	}
+	var empty Histogram
+	got, err = HistogramFromState(empty.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != empty {
+		t.Errorf("empty round trip: got %+v", got)
+	}
+}
+
+// TestHistogramStateRejectsMalformed checks the validation a fleet
+// coordinator relies on before merging a streamed delta.
+func TestHistogramStateRejectsMalformed(t *testing.T) {
+	cases := []HistogramState{
+		{Buckets: []BucketCountEntry{{Bucket: -1, Count: 1}}, Total: 1},
+		{Buckets: []BucketCountEntry{{Bucket: numBuckets, Count: 1}}, Total: 1},
+		{Buckets: []BucketCountEntry{{Bucket: 3, Count: 1}, {Bucket: 3, Count: 1}}, Total: 2},
+		{Buckets: []BucketCountEntry{{Bucket: 3, Count: 2}}, Total: 1},
+	}
+	for i, st := range cases {
+		if _, err := HistogramFromState(st); err == nil {
+			t.Errorf("case %d: malformed state accepted: %+v", i, st)
+		}
+	}
+}
+
+// TestHistogramDeltaTelescopes is the property the fleet's streamed
+// merge depends on: cutting a sample stream into arbitrary windows,
+// taking DeltaSince across each cut and merging the deltas into an
+// empty aggregate reproduces the direct histogram exactly.
+func TestHistogramDeltaTelescopes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var direct, cursor, agg Histogram
+	prev := cursor // snapshot at the last cut
+	for i := 0; i < 2000; i++ {
+		v := uint64(rng.Intn(1 << uint(rng.Intn(40))))
+		direct.Record(v)
+		cursor.Record(v)
+		if rng.Intn(50) == 0 {
+			d, err := cursor.DeltaSince(&prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg.Merge(&d)
+			prev = cursor
+		}
+	}
+	d, err := cursor.DeltaSince(&prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.Merge(&d)
+	if agg != direct {
+		t.Errorf("telescoped deltas diverge:\nagg    %+v\ndirect %+v", agg, direct)
+	}
+}
+
+// TestHistogramDeltaEmptyWindow checks a cut with no new samples yields
+// a zero-count delta that merges as a no-op.
+func TestHistogramDeltaEmptyWindow(t *testing.T) {
+	var h Histogram
+	h.Record(5)
+	prev := h
+	d, err := h.DeltaSince(&prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() != 0 {
+		t.Errorf("empty window delta count = %d", d.Count())
+	}
+	var agg Histogram
+	agg.Record(9)
+	before := agg
+	agg.Merge(&d)
+	if agg != before {
+		t.Errorf("empty delta changed aggregate: %+v -> %+v", before, agg)
+	}
+}
+
+// TestHistogramDeltaRejectsNonMonotonic checks the misuse guard: prev
+// must be an earlier snapshot of the same histogram.
+func TestHistogramDeltaRejectsNonMonotonic(t *testing.T) {
+	var a, b Histogram
+	a.Record(4)
+	b.Record(4)
+	b.Record(1 << 20)
+	if _, err := a.DeltaSince(&b); err == nil {
+		t.Error("delta against a later snapshot accepted")
+	}
+	var c Histogram
+	c.Record(3) // same total as a, different bucket
+	c.Record(1)
+	a.Record(1 << 30)
+	if _, err := a.DeltaSince(&c); err == nil {
+		t.Error("delta against a foreign histogram with shrunken bucket accepted")
+	}
+}
+
+// TestQuantileP999 pins the conservative p999 the digest now carries:
+// an outlier population of 0.5% (between the p99 and p999 ranks) must
+// surface in P999 but not P99.
+func TestQuantileP999(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 9950; i++ {
+		h.Record(10)
+	}
+	for i := 0; i < 50; i++ {
+		h.Record(100_000)
+	}
+	if got := h.Quantile(0.999); got != 100_000 {
+		t.Errorf("p999 = %d, want 100000 (cap at observed max)", got)
+	}
+	d := DigestHistogram("x", &h)
+	if d.P999 != 100_000 || d.P99 != 15 {
+		t.Errorf("digest quantiles: %+v", d)
+	}
+}

@@ -68,6 +68,10 @@ const (
 // the idle thread was chosen".
 const IdleArg = ^uint64(0)
 
+// NumKinds returns the number of defined event kinds, for callers that
+// enumerate per-kind counts across tracers (the fleet delta export).
+func NumKinds() int { return int(numKinds) }
+
 // String returns the event kind's wire name (also used as the Chrome
 // trace event name).
 func (k Kind) String() string {

@@ -32,6 +32,19 @@ type LatencyDigest struct {
 	P50  uint64  `json:"p50"`
 	P90  uint64  `json:"p90"`
 	P99  uint64  `json:"p99"`
+	P999 uint64  `json:"p999"`
+}
+
+// quantileGauges pairs the digest quantiles with their Prometheus
+// `quantile` label values, in exposition order.
+var quantileGauges = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.50},
+	{"0.9", 0.90},
+	{"0.99", 0.99},
+	{"0.999", 0.999},
 }
 
 // DigestHistogram summarises a histogram into a LatencyDigest.
@@ -45,6 +58,7 @@ func DigestHistogram(source string, h *Histogram) LatencyDigest {
 		P50:    h.Quantile(0.50),
 		P90:    h.Quantile(0.90),
 		P99:    h.Quantile(0.99),
+		P999:   h.Quantile(0.999),
 	}
 }
 
@@ -131,6 +145,26 @@ func (s *Snapshot) AddTracer(t *Tracer) {
 		h := sl.Hist
 		s.srcHist[sl.Source].Merge(&h)
 	}
+	s.refreshDigests()
+}
+
+// AddIRQHistogram merges h into the all-sources interrupt-latency
+// histogram — the fleet coordinator's entry point for streamed
+// histogram deltas, where AddTracer's in-process fold is unavailable.
+func (s *Snapshot) AddIRQHistogram(h *Histogram) {
+	s.irqHist.Merge(h)
+	s.refreshDigests()
+}
+
+// AddSourceHistogram merges h into the per-source histogram of op. It
+// deliberately leaves the all-sources aggregate alone (the wire carries
+// that delta separately), preserving the invariant that per-source
+// counts sum to the aggregate count only when the sender maintains it.
+func (s *Snapshot) AddSourceHistogram(op Op, h *Histogram) {
+	if op >= numOps {
+		return
+	}
+	s.srcHist[op].Merge(h)
 	s.refreshDigests()
 }
 
@@ -226,6 +260,21 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 		if err := writeHistProm(w, op.String(), &s.srcHist[op]); err != nil {
 			return err
 		}
+	}
+	fmt.Fprintf(w, "# HELP verikern_irq_latency_quantile_cycles Conservative latency quantile upper bounds (summary-style; never understate the true quantile).\n")
+	fmt.Fprintf(w, "# TYPE verikern_irq_latency_quantile_cycles gauge\n")
+	writeQuantiles := func(source string, h *Histogram) {
+		for _, g := range quantileGauges {
+			fmt.Fprintf(w, "verikern_irq_latency_quantile_cycles{source=%q,quantile=%q} %d\n",
+				promEscape(source), g.label, h.Quantile(g.q))
+		}
+	}
+	writeQuantiles("all", &s.irqHist)
+	for op := Op(0); op < numOps; op++ {
+		if s.srcHist[op].Count() == 0 {
+			continue
+		}
+		writeQuantiles(op.String(), &s.srcHist[op])
 	}
 	fmt.Fprintf(w, "# HELP verikern_irq_latency_max_cycles Worst observed interrupt-response latency in cycles.\n")
 	fmt.Fprintf(w, "# TYPE verikern_irq_latency_max_cycles gauge\n")

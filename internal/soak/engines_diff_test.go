@@ -50,7 +50,7 @@ func TestEnginesDifferential(t *testing.T) {
 			base.Seed = 1234
 			base.RingCap = 1 << 17
 			base.MachineReplay = true
-			plan, err := BuildReplayPlan(context.Background(), base.withDefaults())
+			plan, err := BuildReplayPlan(context.Background(), base.WithDefaults())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -132,7 +132,7 @@ func TestMachineReplayDeterministic(t *testing.T) {
 	base.RingCap = 1 << 16
 	base.MachineReplay = true
 	base.Memo = true
-	plan, err := BuildReplayPlan(context.Background(), base.withDefaults())
+	plan, err := BuildReplayPlan(context.Background(), base.WithDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}

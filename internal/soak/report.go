@@ -89,10 +89,9 @@ func report(cfg Config, runners []*Runner) *Report {
 		bound.Violations += st.Violations
 		bound.NearMax += st.NearMax
 		bound.Captures += st.Captures
-		for _, c := range rn.sent.captures {
-			c.Worker = rn.index
-			r.Captures = append(r.Captures, c)
-		}
+		// Captures already carry their worker/seed identity (stamped at
+		// capture time); the merge just concatenates in worker order.
+		r.Captures = append(r.Captures, rn.sent.captures...)
 	}
 	snap.Ops = r.Ops
 	snap.SimCycles = r.SimCycles
@@ -105,12 +104,29 @@ func report(cfg Config, runners []*Runner) *Report {
 // stepChunk bounds how many ops run between context checks.
 const stepChunk = 256
 
+// ShardBudget returns worker i's share of a total op budget split
+// across `workers` shards: an even split with earlier workers absorbing
+// the remainder. Run and the fleet coordinator must agree on this
+// function exactly — equal-seed equivalence between an N-worker fleet
+// and an N-worker single-process soak depends on identical per-shard
+// budgets.
+func ShardBudget(total uint64, workers, i int) uint64 {
+	if workers <= 0 || i < 0 || i >= workers {
+		return 0
+	}
+	per := total / uint64(workers)
+	if uint64(i) < total%uint64(workers) {
+		per++
+	}
+	return per
+}
+
 // resolve fills in the config's analysed artifacts: the sentinel's
 // WCET bound (unless pinned) and, for machine-replay soaks, the shared
 // interrupt-path replay plan. Both run the analysis pipeline at most
 // once per config.
 func resolve(ctx context.Context, cfg Config) (Config, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	if cfg.BoundCycles == 0 {
 		b, err := ComputeBound(ctx, cfg)
 		if err != nil {
@@ -149,15 +165,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	// Split the op budget; earlier workers absorb the remainder.
-	per := cfg.Ops / uint64(cfg.Workers)
-	rem := cfg.Ops % uint64(cfg.Workers)
 	var wg sync.WaitGroup
 	errs := make([]error, cfg.Workers)
 	for i, rn := range runners {
-		budget := per
-		if uint64(i) < rem {
-			budget++
-		}
+		budget := ShardBudget(cfg.Ops, cfg.Workers, i)
 		wg.Add(1)
 		go func(i int, rn *Runner, budget uint64) {
 			defer wg.Done()

@@ -4,6 +4,9 @@ import "verikern/internal/obs"
 
 // Capture is one flight-recorder dump: the sample that tripped the
 // sentinel and the trailing window of trace events leading up to it.
+// Worker, Seed and Op are stamped at capture time, so a fleet-level
+// violation capture identifies which worker (shard), which campaign
+// seed and which op index produced it without any post-hoc bookkeeping.
 type Capture struct {
 	// Sample is the offending interrupt-response observation.
 	Sample obs.Sample
@@ -12,8 +15,14 @@ type Capture struct {
 	// "new-max" (any new observed maximum, when Config.CaptureNewMax
 	// arms the probe's capture mode).
 	Reason string
-	// Worker is the index of the worker whose kernel produced it.
+	// Worker is the index of the worker (fleet shard) whose kernel
+	// produced it.
 	Worker int
+	// Seed is the campaign seed the worker's op stream derives from.
+	Seed uint64
+	// Op is the worker's op index when the capture was taken (how many
+	// workload operations had completed).
+	Op uint64
 	// Events is the preserved trace window, oldest first.
 	Events []obs.Event
 }
@@ -35,6 +44,11 @@ type sentinel struct {
 	flightEvents  int
 	maxCaptures   int
 	captureNewMax bool
+
+	// Capture identity, stamped on every dump.
+	worker int
+	seed   uint64
+	opsFn  func() uint64
 
 	violations uint64
 	nearMax    uint64
@@ -76,9 +90,16 @@ func (s *sentinel) sample(sm obs.Sample) {
 		s.maxSeen = sm.Latency
 	}
 	if reason != "" && len(s.captures) < s.maxCaptures {
+		var ops uint64
+		if s.opsFn != nil {
+			ops = s.opsFn()
+		}
 		s.captures = append(s.captures, Capture{
 			Sample: sm,
 			Reason: reason,
+			Worker: s.worker,
+			Seed:   s.seed,
+			Op:     ops,
 			Events: s.tracer.LastEvents(s.flightEvents),
 		})
 	}

@@ -107,7 +107,11 @@ type Config struct {
 	Replay *ReplayPlan
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults returns the config with every zero field resolved to
+// its documented default — the exact config a Runner executes. The
+// fleet layer applies it on both ends of the wire so a coordinator's
+// merged BoundStatus (margin, bound) matches what each worker ran.
+func (c Config) WithDefaults() Config {
 	if c.Label == "" {
 		c.Label = "soak"
 	}
@@ -302,7 +306,7 @@ type deepChain struct {
 // Runner users may leave it zero to disable the sentinel's bound
 // check).
 func NewRunner(cfg Config, index int) (*Runner, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	backend, err := arch.Lookup(cfg.Arch)
 	if err != nil {
 		return nil, fmt.Errorf("soak: %w", err)
@@ -325,6 +329,12 @@ func NewRunner(cfg Config, index int) (*Runner, error) {
 		rng:    rand.New(rand.NewSource(subSeed(seedRoot, index))),
 	}
 	r.sent = newSentinel(tr, cfg.BoundCycles, cfg.MarginPercent, cfg.FlightEvents, cfg.MaxCaptures, cfg.CaptureNewMax)
+	// Stamp the capture identity up front: a fleet-level violation dump
+	// must name the shard and campaign seed that produced it even when
+	// the capture crosses the wire without the Runner.
+	r.sent.worker = index
+	r.sent.seed = cfg.Seed
+	r.sent.opsFn = func() uint64 { return r.ops }
 	hook := r.sent.sample
 	if cfg.MachineReplay && cfg.Replay != nil {
 		// The worker's private machine shares the worker's tracer, so
@@ -419,8 +429,9 @@ func (r *Runner) Replays() uint64 { return r.replays }
 // SentinelStatus returns the live bound-checker's standing verdict.
 func (r *Runner) SentinelStatus() obs.BoundStatus { return r.sent.status() }
 
-// Captures returns the flight-recorder dumps taken so far (worker
-// index not yet stamped; Report.Captures carries it).
+// Captures returns the flight-recorder dumps taken so far, each
+// stamped with the worker index, campaign seed and op index that
+// produced it.
 func (r *Runner) Captures() []Capture { return r.sent.captures }
 
 // ArmTimer programs the one-shot timer exactly phase cycles into the

@@ -182,6 +182,57 @@ func TestSoakFlightRecorder(t *testing.T) {
 	}
 }
 
+// TestCaptureCarriesShardIdentity checks captures are stamped with the
+// worker (shard) index, campaign seed and op index at capture time —
+// the identification a fleet-level violation dump is traced back by.
+func TestCaptureCarriesShardIdentity(t *testing.T) {
+	cfg := modernCfg("identity", false)
+	cfg.Ops, cfg.Workers = 600, 3
+	cfg.BoundCycles = 1 // every sample violates
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Captures) == 0 {
+		t.Fatal("no captures")
+	}
+	seenWorker := map[int]bool{}
+	for i, c := range rep.Captures {
+		if c.Worker < 0 || c.Worker >= cfg.Workers {
+			t.Errorf("capture %d worker %d out of range", i, c.Worker)
+		}
+		if c.Seed != cfg.Seed {
+			t.Errorf("capture %d seed %d, want campaign seed %d", i, c.Seed, cfg.Seed)
+		}
+		seenWorker[c.Worker] = true
+	}
+	// With a 1-cycle bound every worker trips its captures.
+	if len(seenWorker) != cfg.Workers {
+		t.Errorf("captures name %d distinct workers, want %d", len(seenWorker), cfg.Workers)
+	}
+	// Identity must come from capture time, not the merge: a direct
+	// Runner (never passing through report()) is stamped too.
+	rn, err := NewRunner(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rn.Step(200); err != nil {
+		t.Fatal(err)
+	}
+	caps := rn.Captures()
+	if len(caps) == 0 {
+		t.Fatal("direct runner took no captures")
+	}
+	for i, c := range caps {
+		if c.Worker != 2 || c.Seed != cfg.Seed {
+			t.Errorf("direct capture %d identity = worker %d seed %d", i, c.Worker, c.Seed)
+		}
+		if c.Op > rn.Ops() {
+			t.Errorf("direct capture %d op index %d beyond ops run %d", i, c.Op, rn.Ops())
+		}
+	}
+}
+
 // TestSoakInvariantsOn runs a small soak with the kernel's proof
 // invariants checked at every preemption point and kernel exit.
 func TestSoakInvariantsOn(t *testing.T) {
