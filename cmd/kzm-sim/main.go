@@ -29,6 +29,15 @@
 // preemption × pinning matrix. -tightness-out writes the matrix as a
 // BENCH_tightness.json artifact.
 //
+// With -sweep, kzm-sim walks the konfig configuration lattice: every
+// backend's feasible sub-lattice of paper features (scheduler
+// generation, preemption sites, way pinning, clearing granularity, L2
+// and branch-predictor enables) is analysed through the shared
+// content-addressed pass cache and soaked deterministically, and the
+// per-entry-point WCET-vs-throughput Pareto frontiers are written as a
+// byte-stable BENCH_pareto.json artifact. The document is identical
+// across runs and -sweep-workers counts for a fixed seed.
+//
 // With -bench-sim, kzm-sim benchmarks the simulator itself: the same
 // warm interrupt-path replay workload timed on the naive and the
 // memoized engine across the four-image matrix, reporting replays/sec,
@@ -47,6 +56,8 @@
 //	        [-tightness-out BENCH_tightness.json]
 //	kzm-sim -bench-sim [-bench-sim-runs N] [-seed N]
 //	        [-bench-sim-out BENCH_sim.json]
+//	kzm-sim -sweep [-sweep-workers N] [-sweep-ops N] [-seed N]
+//	        [-sweep-out BENCH_pareto.json]
 //	kzm-sim -fleet-coordinator ADDR -soak <ops> [-fleet-workers N]
 //	        [-fleet-chaos-kill N] [-fleet-verify] [-fleet-state F]
 //	        [-serve :9090]
@@ -118,6 +129,10 @@ func main() {
 	fleetState := flag.String("fleet-state", "", "persist coordinator checkpoints to this file (resume on restart)")
 	fleetBench := flag.Bool("fleet-bench", false, "run the fleet benchmark across all architecture backends")
 	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "write the fleet benchmark as a BENCH_fleet.json artifact to this file (with -fleet-bench; empty disables)")
+	sweepMode := flag.Bool("sweep", false, "sweep the konfig lattice on every backend and emit WCET-vs-throughput Pareto frontiers")
+	sweepWorkers := flag.Int("sweep-workers", 4, "parallel analyses/soaks during -sweep (result is worker-count independent)")
+	sweepOps := flag.Uint64("sweep-ops", 256, "soak operations per swept lattice point")
+	sweepOut := flag.String("sweep-out", "BENCH_pareto.json", "write the sweep as a BENCH_pareto.json artifact to this file (with -sweep; empty disables)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -126,6 +141,11 @@ func main() {
 	backend, err := arch.Lookup(*archName)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *sweepMode {
+		runSweep(ctx, *seed, *sweepOps, *sweepWorkers, *sweepOut)
+		return
 	}
 
 	if *benchSim {
@@ -427,6 +447,52 @@ func runBenchSim(ctx context.Context, seed uint64, runs int, out, archID string)
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %d-config engine benchmark to %s\n", len(doc.Configs), out)
+	}
+}
+
+// runSweep is the configuration-lattice mode: walk every backend's
+// feasible DefaultSpace sub-lattice through the shared analysis cache,
+// soak each point deterministically, and emit the per-entry-point
+// WCET-vs-throughput Pareto frontiers as the byte-stable
+// BENCH_pareto.json artifact.
+func runSweep(ctx context.Context, seed, ops uint64, workers int, out string) {
+	start := time.Now()
+	doc, err := verikern.ParetoSweep(ctx, nil, seed, ops, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sw := range doc.Archs {
+		fmt.Printf("sweep %s: %d feasible points\n", sw.Arch, len(sw.Points))
+		for _, fr := range sw.Frontiers {
+			fmt.Printf("  %-12s frontier: %d point(s)", fr.Entry, len(fr.Points))
+			if n := len(fr.Points); n > 0 {
+				fmt.Printf("  wcet %d..%d cycles", fr.Points[0].WCETCycles, fr.Points[n-1].WCETCycles)
+			}
+			fmt.Println()
+		}
+		var violations uint64
+		for _, p := range sw.Points {
+			violations += p.Violations
+		}
+		if violations != 0 {
+			log.Fatalf("SOUNDNESS VIOLATION: %d soak samples exceeded their analysed bound on %s", violations, sw.Arch)
+		}
+	}
+	cs := verikern.AnalysisCacheStats()
+	fmt.Printf("sweep done in %.1fs (pass cache: %d hits / %d misses)\n",
+		time.Since(start).Seconds(), cs.Hits, cs.Misses)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := verikern.WriteParetoBench(f, doc); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d-backend Pareto sweep to %s\n", len(doc.Archs), out)
 	}
 }
 

@@ -8,6 +8,12 @@
 //
 //	paper [-runs N] [-table 1|2] [-figure 8|9] [-headline]
 //	      [-arch arm1136|cva6rt] [-ablations] [-json] [-trace out.json]
+//	      [-lattice]
+//
+// -lattice prints the legacy evaluation matrices (soak, probe, Figure
+// 9's hardware axis) as konfig configuration-lattice points: each
+// historical name next to the lattice hash that identifies it in soak
+// snapshots, fleet batches and BENCH_pareto.json rows.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 
 	"verikern"
 	"verikern/internal/arch"
+	"verikern/internal/konfig"
 	"verikern/internal/obs"
 )
 
@@ -36,6 +43,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit all results as JSON instead of formatted tables")
 	ablations := flag.Bool("ablations", false, "print the design-space ablations (L2 locking, TCM, clearing granularity)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of analysis-pipeline stages")
+	lattice := flag.Bool("lattice", false, "print the legacy evaluation matrices as konfig lattice points (name, hash, assignments)")
 	flag.Parse()
 
 	// Interrupting the run (SIGINT/SIGTERM) cancels the analysis
@@ -53,6 +61,10 @@ func main() {
 	backend, err := arch.Lookup(*archName)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *lattice {
+		printLattice(backend.ID)
+		return
 	}
 	if backend.ID != arch.ARM1136ID {
 		// The paper's tables and figures are ARM1136/KZM artifacts
@@ -234,5 +246,29 @@ func emitJSON(ctx context.Context, runs int) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(d); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// printLattice renders the legacy evaluation matrices as their konfig
+// lattice points: every historical configuration name next to the
+// lattice hash that now identifies it (in soak snapshots, fleet
+// batches and BENCH_pareto.json rows) and its full key assignment.
+func printLattice(archID string) {
+	section := func(title string, pts []konfig.NamedPoint, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", title)
+		for _, np := range pts {
+			fmt.Printf("  %-24s %s  %s\n", np.Name, np.Point.Hash(), np.Point.Listing())
+		}
+		fmt.Println()
+	}
+	soakPts, err := konfig.LegacySoakMatrix(archID)
+	section("soak matrix ("+archID+")", soakPts, err)
+	probePts, err := konfig.LegacyProbeMatrix(archID)
+	section("probe matrix ("+archID+")", probePts, err)
+	if archID == arch.ARM1136ID {
+		section("figure 9 hardware matrix (arm1136)", konfig.LegacyHardwareMatrix(), nil)
 	}
 }

@@ -6,9 +6,16 @@
 // Usage:
 //
 //	wcet [-entry handleSyscall] [-all] [-variant modern|original]
-//	     [-arch arm1136|cva6rt]
+//	     [-arch arm1136|cva6rt] [-konfig "key=value,..."]
 //	     [-l2] [-bpred] [-pin] [-observe N] [-trace] [-hot N]
 //	     [-lp] [-verify] [-obligations] [-dump] [-timings]
+//
+// -konfig selects a configuration-lattice point instead of the legacy
+// variant/feature flags: assignments are applied to the backend's
+// default point, validated by the konfig rule engine (an infeasible
+// combination fails with its named-rule diagnostics), and the image and
+// hardware model are derived from the point. See docs/config-lattice.md
+// for the key reference.
 package main
 
 import (
@@ -42,25 +49,57 @@ func main() {
 	obligations := flag.Bool("obligations", false, "print the proof obligations for the image's manual constraints (§5.2)")
 	dumpImage := flag.Bool("dump", false, "print a disassembly-style listing of the kernel image")
 	timings := flag.Bool("timings", false, "print solver and analysis wall times (makes output non-reproducible)")
+	konfigSpec := flag.String("konfig", "", "configuration-lattice assignments \"key=value,...\" applied to the backend's default point (overrides -variant/-l2/-bpred/-pin; see docs/config-lattice.md)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	variant := verikern.Modern
-	if *variantName == "original" {
-		variant = verikern.Original
-	} else if *variantName != "modern" {
-		log.Fatalf("unknown variant %q", *variantName)
-	}
-
-	im, err := verikern.BuildImageArch(variant, *pin, *archName)
-	if err != nil {
-		log.Fatal(err)
-	}
-	hw := verikern.Hardware{Arch: im.Arch, L2Enabled: *l2, BranchPredictor: *bpred}
-	if *pin {
-		hw.PinnedL1Ways = 1
+	var (
+		im      *verikern.Image
+		hw      verikern.Hardware
+		variant verikern.Variant
+		err     error
+	)
+	if *konfigSpec != "" {
+		p, perr := verikern.DefaultLatticePoint(*archName)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		for _, kv := range strings.Split(*konfigSpec, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				log.Fatalf("-konfig %q: want key=value", kv)
+			}
+			if p, err = p.Set(strings.TrimSpace(k), strings.TrimSpace(v)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		im, hw, err = verikern.BuildImagePoint(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		variant = im.Variant
+		fmt.Printf("konfig:       %s  %s\n", p.Hash(), p.Listing())
+	} else {
+		variant = verikern.Modern
+		if *variantName == "original" {
+			variant = verikern.Original
+		} else if *variantName != "modern" {
+			log.Fatalf("unknown variant %q", *variantName)
+		}
+		im, err = verikern.BuildImageArch(variant, *pin, *archName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hw = verikern.Hardware{Arch: im.Arch, L2Enabled: *l2, BranchPredictor: *bpred}
+		if *pin {
+			hw.PinnedL1Ways = 1
+		}
 	}
 	if *verify {
 		if err := im.VerifyLoopBounds(); err != nil {
@@ -85,8 +124,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("kernel:       %s%s\n", variant, pinSuffix(*pin))
-		fmt.Printf("hardware:     arch=%s L2=%v branch-predictor=%v pinned-ways=%d\n", im.Arch, *l2, *bpred, hw.PinnedL1Ways)
+		fmt.Printf("kernel:       %s%s\n", variant, pinSuffix(im.Pinned))
+		fmt.Printf("hardware:     arch=%s L2=%v branch-predictor=%v pinned-ways=%d\n", im.Arch, hw.L2Enabled, hw.BranchPredictor, hw.PinnedL1Ways)
 		fmt.Printf("%-24s %12s %10s %8s %8s\n", "entry", "cycles", "µs", "blocks", "ilp-vars")
 		for _, b := range bounds {
 			fmt.Printf("%-24s %12d %10.1f %8d %8d\n",
@@ -106,8 +145,8 @@ func main() {
 	}
 	r := bd.Result
 
-	fmt.Printf("entry:        %s (%s kernel%s)\n", *entry, variant, pinSuffix(*pin))
-	fmt.Printf("hardware:     arch=%s L2=%v branch-predictor=%v pinned-ways=%d\n", im.Arch, *l2, *bpred, hw.PinnedL1Ways)
+	fmt.Printf("entry:        %s (%s kernel%s)\n", *entry, variant, pinSuffix(im.Pinned))
+	fmt.Printf("hardware:     arch=%s L2=%v branch-predictor=%v pinned-ways=%d\n", im.Arch, hw.L2Enabled, hw.BranchPredictor, hw.PinnedL1Ways)
 	fmt.Printf("bound:        %d cycles = %.1f µs\n", bd.Cycles, bd.Micros)
 	fmt.Printf("cfg:          %d inlined nodes, %d loops\n", len(r.Graph.Nodes), len(r.Graph.Loops))
 	if *timings {

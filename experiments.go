@@ -13,6 +13,7 @@ import (
 	"verikern/internal/fleet"
 	"verikern/internal/kbin"
 	"verikern/internal/kernel"
+	"verikern/internal/konfig"
 	"verikern/internal/machine"
 	"verikern/internal/measure"
 	"verikern/internal/obs"
@@ -239,16 +240,24 @@ type Fig9Bar struct {
 	Normalised float64
 }
 
-// Fig9Configs names the four feature configurations of Figure 9.
-var Fig9Configs = []struct {
+// Fig9Config names one hardware-feature configuration of Figure 9.
+type Fig9Config struct {
 	Name string
 	HW   Hardware
-}{
-	{"Baseline", Hardware{}},
-	{"L2 enabled", Hardware{L2Enabled: true}},
-	{"B-pred enabled", Hardware{BranchPredictor: true}},
-	{"L2+B-pred enabled", Hardware{L2Enabled: true, BranchPredictor: true}},
+	// Key is the configuration's konfig lattice-point hash.
+	Key string
 }
+
+// Fig9Configs names the four feature configurations of Figure 9 —
+// the hardware axis of the konfig lattice (konfig.LegacyHardwareMatrix)
+// rendered as arch.Configs.
+var Fig9Configs = func() []Fig9Config {
+	var out []Fig9Config
+	for _, np := range konfig.LegacyHardwareMatrix() {
+		out = append(out, Fig9Config{Name: np.Name, HW: np.Point.Hardware(), Key: np.Point.Hash()})
+	}
+	return out
+}()
 
 // Fig9 reproduces Figure 9 (§6.4): the effect of enabling the L2
 // cache and/or the branch predictor on observed worst-case execution
@@ -685,25 +694,45 @@ type SoakConfig struct {
 	// Pinned selects the way-pinned image when computing the WCET
 	// bound the sentinel enforces.
 	Pinned bool
+	// Key is the configuration's konfig lattice-point hash, stamped
+	// into soak snapshots and fleet batches so mixed-config merges are
+	// refused.
+	Key string
 }
 
 // SoakConfigs is the latency-observatory sweep: the modernised kernel
 // with and without L1 pinning, the modernised structures with
 // preemption points disabled, and the pre-modification kernel — the
-// same before/after axis the paper's evaluation walks.
+// same before/after axis the paper's evaluation walks, expressed as
+// konfig lattice points (konfig.LegacySoakMatrix) on the default
+// ARM1136 backend.
 func SoakConfigs() []SoakConfig {
-	modern := kernel.Modern()
-	modern.CheckInvariants = false // O(objects) per preemption point
-	noPre := modern
-	noPre.PreemptionPoints = false
-	lazy := kernel.Original()
-	lazy.CheckInvariants = false
-	return []SoakConfig{
-		{Name: "benno+preempt+pinned", Kernel: modern, Pinned: true},
-		{Name: "benno+preempt", Kernel: modern},
-		{Name: "benno+nopreempt", Kernel: noPre},
-		{Name: "lazy", Kernel: lazy},
+	cfgs, err := SoakConfigsArch("")
+	if err != nil {
+		panic(err) // static matrix on the built-in backend; cannot fail
 	}
+	return cfgs
+}
+
+// SoakConfigsArch is SoakConfigs with the lattice points — and so the
+// configuration hashes — resolved on an explicit backend. The kernel
+// configurations are backend-independent; only the identity stamps
+// differ.
+func SoakConfigsArch(archID string) ([]SoakConfig, error) {
+	m, err := konfig.LegacySoakMatrix(archID)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SoakConfig, 0, len(m))
+	for _, np := range m {
+		out = append(out, SoakConfig{
+			Name:   np.Name,
+			Kernel: np.Point.KernelConfig(),
+			Pinned: np.Point.Pinned(),
+			Key:    np.Point.Hash(),
+		})
+	}
+	return out, nil
 }
 
 // SoakReport soaks every matrix configuration for `ops` operations at
@@ -721,16 +750,21 @@ func SoakReport(ctx context.Context, seed, ops uint64) ([]*soak.Report, error) {
 // is analysed for that backend's image and timing model, and each
 // worker's op stream is drawn from a backend-mixed seed.
 func SoakReportArch(ctx context.Context, seed, ops uint64, archID string) ([]*soak.Report, error) {
+	cfgs, err := SoakConfigsArch(archID)
+	if err != nil {
+		return nil, err
+	}
 	var reps []*soak.Report
-	for _, sc := range SoakConfigs() {
+	for _, sc := range cfgs {
 		rep, err := soak.Run(ctx, soak.Config{
-			Label:   sc.Name,
-			Arch:    archID,
-			Seed:    seed,
-			Ops:     ops,
-			Workers: 2,
-			Kernel:  sc.Kernel,
-			Pinned:  sc.Pinned,
+			Label:     sc.Name,
+			Arch:      archID,
+			ConfigKey: sc.Key,
+			Seed:      seed,
+			Ops:       ops,
+			Workers:   2,
+			Kernel:    sc.Kernel,
+			Pinned:    sc.Pinned,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("soak %s: %w", sc.Name, err)
@@ -783,24 +817,31 @@ type ProbeConfig struct {
 	// Pinned selects the way-pinned image for both the analysis and
 	// the measurement machine.
 	Pinned bool
+	// Key is the configuration's konfig lattice-point hash.
+	Key string
 }
 
 // ProbeConfigs is the bound-tightness sweep: the modernised kernel
-// structures across the full preemption × pinning matrix. Where the
+// structures across the full preemption × pinning matrix
+// (konfig.LegacyProbeMatrix on the default ARM1136 backend). Where the
 // soak matrix contrasts kernel generations, the probe matrix stresses
 // one generation's analysis from every side the bound composition has
 // — each cell's observed maximum is pushed toward its own bound.
 func ProbeConfigs() []ProbeConfig {
-	modern := kernel.Modern()
-	modern.CheckInvariants = false // O(objects) per preemption point
-	noPre := modern
-	noPre.PreemptionPoints = false
-	return []ProbeConfig{
-		{Name: "benno+preempt+pinned", Kernel: modern, Pinned: true},
-		{Name: "benno+preempt", Kernel: modern},
-		{Name: "benno+nopreempt+pinned", Kernel: noPre, Pinned: true},
-		{Name: "benno+nopreempt", Kernel: noPre},
+	m, err := konfig.LegacyProbeMatrix("")
+	if err != nil {
+		panic(err) // static matrix on the built-in backend; cannot fail
 	}
+	out := make([]ProbeConfig, 0, len(m))
+	for _, np := range m {
+		out = append(out, ProbeConfig{
+			Name:   np.Name,
+			Kernel: np.Point.KernelConfig(),
+			Pinned: np.Point.Pinned(),
+			Key:    np.Point.Hash(),
+		})
+	}
+	return out
 }
 
 // TightnessReport runs the directed probe over every matrix

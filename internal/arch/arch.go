@@ -10,6 +10,8 @@
 // and the simulator model the same hardware.
 package arch
 
+import "fmt"
+
 // Class is the timing class of an instruction. The pipeline model
 // assigns each class a base issue cost; loads and stores additionally
 // pay the memory hierarchy.
@@ -256,4 +258,16 @@ func (c Config) Backend() *Backend {
 		return ARM1136
 	}
 	return MustLookup(c.Arch)
+}
+
+// CanonicalKey renders the configuration as a stable "k=v" listing for
+// content-addressed cache keys and konfig lattice hashes. The Arch
+// field is normalised through the registry first, so the empty string
+// and the explicit default backend id produce the same key (and share
+// cache entries). Any new Config field must be added here: the key is
+// the analyser's definition of "same hardware".
+func (c Config) CanonicalKey() string {
+	return fmt.Sprintf("arch=%s l2=%t bpred=%t pin=%d l2lock=%t tcm=%t itcm=%#x dtcm=%#x",
+		c.Backend().ID, c.L2Enabled, c.BranchPredictor, c.PinnedL1Ways,
+		c.L2LockedKernel, c.TCMEnabled, c.ITCMBase, c.DTCMBase)
 }

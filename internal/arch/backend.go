@@ -217,6 +217,23 @@ func (b *Backend) Validate() error {
 	return nil
 }
 
+// MaxPinnableWays returns the exclusive upper bound on PinnedL1Ways
+// for this backend: at least one way of the narrower L1 must stay
+// unlocked for the replacement policy to victimise, and enabling TCM
+// repurposes one further way. This is the per-backend domain of the
+// konfig "cache.l1.pinned-ways" key; ValidateConfig enforces the same
+// bound.
+func (b *Backend) MaxPinnableWays(tcmEnabled bool) int {
+	maxPin := b.L1I.Ways
+	if b.L1D.Ways < maxPin {
+		maxPin = b.L1D.Ways
+	}
+	if tcmEnabled {
+		maxPin--
+	}
+	return maxPin
+}
+
 // ValidateConfig checks that a Config only asks for features this
 // backend has, and stays within its geometry.
 func (b *Backend) ValidateConfig(c Config) error {
@@ -235,13 +252,7 @@ func (b *Backend) ValidateConfig(c Config) error {
 	if c.TCMEnabled && !b.HasTCM {
 		return fmt.Errorf("arch %s: no tightly-coupled memory on this backend", b.ID)
 	}
-	maxPin := b.L1I.Ways
-	if b.L1D.Ways < maxPin {
-		maxPin = b.L1D.Ways
-	}
-	if c.TCMEnabled {
-		maxPin--
-	}
+	maxPin := b.MaxPinnableWays(c.TCMEnabled)
 	if c.PinnedL1Ways < 0 || c.PinnedL1Ways >= maxPin {
 		return fmt.Errorf("arch %s: %d pinned L1 ways outside [0,%d)", b.ID, c.PinnedL1Ways, maxPin)
 	}

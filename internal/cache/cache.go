@@ -48,6 +48,22 @@ func (p Policy) String() string {
 	}
 }
 
+// Policies returns every modelled replacement policy, in definition
+// order — the raw domain of the konfig "cache.replacement" key (the
+// rule engine narrows it to the policies a deployment is verifiable
+// under; see internal/konfig).
+func Policies() []Policy { return []Policy{RoundRobin, PseudoRandom, LRU} }
+
+// ParsePolicy resolves a policy name as printed by Policy.String.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("cache: unknown replacement policy %q", s)
+}
+
 // Config describes a concrete cache instance.
 type Config struct {
 	// Sets is the number of cache sets; must be a power of two.

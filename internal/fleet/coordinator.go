@@ -386,6 +386,14 @@ func (c *Coordinator) merge(connID uint64, b Batch) {
 		c.dropped++
 		return
 	}
+	if b.Config != c.spec.ConfigKey {
+		// A delta observed under a different konfig lattice point is
+		// not mergeable: the histograms would silently blend two
+		// configurations' latency distributions.
+		c.dropped++
+		c.logfSafe("fleet: shard %d: batch config %q != campaign config %q, refused", b.Shard, b.Config, c.spec.ConfigKey)
+		return
+	}
 	irqD, err := obs.HistogramFromState(b.IRQ)
 	if err != nil {
 		c.dropped++
@@ -528,6 +536,7 @@ func (c *Coordinator) Snapshot() *obs.Snapshot {
 	s := obs.NewSnapshot()
 	s.Label = c.spec.Label
 	s.Arch = c.backend
+	s.Config = c.spec.ConfigKey
 	s.Seed = c.spec.Seed
 	s.Workers = c.spec.Workers
 	for _, sh := range c.shards {
@@ -573,9 +582,12 @@ func (c *Coordinator) Captures() []soak.Capture {
 
 // EquivalenceDigest renders a snapshot's equivalence-comparable form:
 // the full JSON document minus the "counters" key (fleet transport
-// counters are real but transport-dependent; everything else —
+// counters are real but transport-dependent) and the "config" identity
+// stamp (two runs of behaviourally identical configurations — e.g. a
+// legacy struct and its konfig lattice point — must digest equal even
+// though only one carries a lattice hash); everything else —
 // histograms, digests, event counts, sentinel verdict — must match a
-// single-process soak byte-for-byte).
+// single-process soak byte-for-byte.
 func EquivalenceDigest(s *obs.Snapshot) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := s.WriteJSON(&buf); err != nil {
@@ -586,6 +598,7 @@ func EquivalenceDigest(s *obs.Snapshot) ([]byte, error) {
 		return nil, err
 	}
 	delete(m, "counters")
+	delete(m, "config")
 	out, err := json.MarshalIndent(m, "", " ")
 	if err != nil {
 		return nil, err

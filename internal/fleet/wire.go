@@ -64,8 +64,14 @@ type Hello struct {
 // workers rebuild it deterministically from the same analysis
 // pipeline when MachineReplay is set).
 type Spec struct {
-	Label             string        `json:"label"`
-	Arch              string        `json:"arch,omitempty"`
+	Label string `json:"label"`
+	Arch  string `json:"arch,omitempty"`
+	// ConfigKey is the konfig lattice-point hash of the campaign's
+	// configuration (soak.Config.ConfigKey). It participates in the
+	// coordinator's spec hash — so persisted checkpoint state from a
+	// different configuration is refused on resume — and every batch
+	// echoes it, so a mixed-config merge is refused at admission.
+	ConfigKey         string        `json:"config_key,omitempty"`
 	Seed              uint64        `json:"seed"`
 	Ops               uint64        `json:"ops"`
 	Workers           int           `json:"workers"`
@@ -87,6 +93,7 @@ func SpecFromConfig(cfg soak.Config) Spec {
 	return Spec{
 		Label:             cfg.Label,
 		Arch:              cfg.Arch,
+		ConfigKey:         cfg.ConfigKey,
 		Seed:              cfg.Seed,
 		Ops:               cfg.Ops,
 		Workers:           cfg.Workers,
@@ -109,6 +116,7 @@ func (sp Spec) SoakConfig() soak.Config {
 	return soak.Config{
 		Label:             sp.Label,
 		Arch:              sp.Arch,
+		ConfigKey:         sp.ConfigKey,
 		Seed:              sp.Seed,
 		Ops:               sp.Ops,
 		Workers:           sp.Workers,
@@ -151,7 +159,12 @@ type SourceDelta struct {
 // delta histograms' Max/Min (cumulative extrema — telescoping merges
 // still recover the global extrema exactly; see obs.DeltaSince).
 type Batch struct {
-	Shard   int    `json:"shard"`
+	Shard int `json:"shard"`
+	// Config echoes the spec's ConfigKey: a histogram delta carries no
+	// configuration identity of its own (obs.DeltaSince is pure bucket
+	// arithmetic), so the batch names the configuration it was observed
+	// under and the coordinator refuses mismatches at admission.
+	Config  string `json:"config,omitempty"`
 	FromOps uint64 `json:"from_ops"`
 	ToOps   uint64 `json:"to_ops"`
 	// SimCycles is the shard's cumulative simulated clock at ToOps.

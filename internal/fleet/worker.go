@@ -85,6 +85,7 @@ func RunWorker(ctx context.Context, conn io.ReadWriteCloser, opt WorkerOptions) 
 		}
 	}
 	cur := newCursor(as.Shard)
+	cur.config = as.Spec.ConfigKey
 	if as.Checkpoint > 0 {
 		// Restart: everything up to the checkpoint — including the
 		// boot-time trace events — was merged by the previous
@@ -167,7 +168,10 @@ func RunWorker(ctx context.Context, conn io.ReadWriteCloser, opt WorkerOptions) 
 // fast-forward, sync re-baselines everything (including the capture
 // count) at the merged checkpoint.
 type cursor struct {
-	shard        int
+	shard int
+	// config is the spec's ConfigKey, echoed on every batch so the
+	// coordinator can refuse deltas from another configuration.
+	config       string
 	prevOps      uint64
 	prevIRQ      obs.Histogram
 	prevSrc      []obs.Histogram
@@ -216,6 +220,7 @@ func (c *cursor) batch(rn *soak.Runner) (Batch, error) {
 	tr := rn.Tracer()
 	b := Batch{
 		Shard:     c.shard,
+		Config:    c.config,
 		FromOps:   c.prevOps,
 		ToOps:     rn.Ops(),
 		SimCycles: rn.Kernel().Now(),

@@ -53,6 +53,22 @@ type Options struct {
 	Arch string
 }
 
+// Canonical renders the options as a stable "k=v" listing with the
+// backend id normalised through the registry, so equivalent Options —
+// the empty Arch and the explicit default id — encode identically.
+// konfig uses it to project a lattice point onto the image axis of the
+// analysis cache key: lattice keys that do not change the built image
+// (invariant checking, clearing granularity) share one projection.
+func (o Options) Canonical() string {
+	be, err := arch.Lookup(o.Arch)
+	if err != nil {
+		// Unresolvable backends cannot share anything; keep the raw
+		// name so the projection stays total.
+		return fmt.Sprintf("arch=%s modern=%t pinned=%t tcm=%t", o.Arch, o.Modernised, o.Pinned, o.TCM)
+	}
+	return fmt.Sprintf("arch=%s modern=%t pinned=%t tcm=%t", be.ID, o.Modernised, o.Pinned, o.TCM)
+}
+
 // Entry point names in the built image.
 const (
 	EntrySyscall   = "handleSyscall"

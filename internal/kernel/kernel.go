@@ -56,6 +56,21 @@ type Config struct {
 	CheckInvariants bool
 }
 
+// DefaultClearChunkBytes is the paper's 1 KiB object-clearing
+// preemption granularity (§3.5), applied when ClearChunkBytes is zero.
+const DefaultClearChunkBytes = 1024
+
+// EffectiveClearChunkBytes resolves the zero default, so configuration
+// equality at the behavioural level — e.g. a konfig lattice point with
+// an explicit 1024 against a legacy zero-valued Config — can be judged
+// on the value the clearing loop actually uses.
+func (c Config) EffectiveClearChunkBytes() uint32 {
+	if c.ClearChunkBytes == 0 {
+		return DefaultClearChunkBytes
+	}
+	return c.ClearChunkBytes
+}
+
 // Modern is the paper's improved kernel: Benno scheduling with
 // bitmaps, shadow page tables, preemption points, fastpath, invariant
 // checking.

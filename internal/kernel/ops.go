@@ -284,10 +284,7 @@ func (k *Kernel) CreateObjects(t *kobj.TCB, ot kobj.ObjType, param uint8, count 
 			k.pendingClear[u] = prog
 		}
 		// Clear object memory before any kernel state changes.
-		chunkSize := k.cfg.ClearChunkBytes
-		if chunkSize == 0 {
-			chunkSize = 1024
-		}
+		chunkSize := k.cfg.EffectiveClearChunkBytes()
 		for prog.remaining > 0 {
 			chunk := chunkSize
 			if prog.remaining < chunk {

@@ -1,0 +1,141 @@
+package konfig
+
+import (
+	"fmt"
+
+	"verikern/internal/arch"
+	"verikern/internal/cache"
+	"verikern/internal/kernel"
+	"verikern/internal/sched"
+	"verikern/internal/vspace"
+)
+
+// DefaultPoint is the lattice origin on a backend: the modernised
+// kernel (benno+bitmap, shadow page tables, preemption points on,
+// fastpath, the paper's 1 KiB clearing granularity) on stock hardware
+// (no pinning, L2 and predictor off, no TCM, round-robin replacement,
+// the backend's own geometry). Invariant checking is off, matching the
+// soak/probe matrices (it is O(objects) per preemption point).
+func DefaultPoint(archID string) (Point, error) {
+	b, err := arch.Lookup(archID)
+	if err != nil {
+		return Point{}, err
+	}
+	p := Point{
+		Arch:            b.ID,
+		Scheduler:       sched.BennoBitmap,
+		VSpace:          vspace.ShadowDesign,
+		PreemptDelete:   true,
+		PreemptClear:    true,
+		Fastpath:        true,
+		ClearChunkBytes: kernel.DefaultClearChunkBytes,
+		L1IWays:         b.L1I.Ways,
+		L1DWays:         b.L1D.Ways,
+		Replacement:     cache.RoundRobin,
+	}
+	if b.HasL2 {
+		p.L2Ways = b.L2.Ways
+	}
+	return p, nil
+}
+
+// mustDefault is DefaultPoint for ids the caller has already resolved.
+func mustDefault(archID string) Point {
+	p, err := DefaultPoint(archID)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NamedPoint is a lattice point with a matrix-row name.
+type NamedPoint struct {
+	Name  string
+	Point Point
+}
+
+// LegacySoakMatrix expresses the historical 4-config soak matrix
+// (experiments.SoakConfigs) as lattice points: the modernised kernel
+// with and without one pinned L1 way, the modernised structures with
+// preemption points disabled, and the pre-modification kernel. The
+// differential test TestLatticeMatchesLegacyMatrix holds these
+// byte-identical to the pre-konfig structs on both backends.
+func LegacySoakMatrix(archID string) ([]NamedPoint, error) {
+	base, err := DefaultPoint(archID)
+	if err != nil {
+		return nil, err
+	}
+	pinned := base
+	pinned.PinnedL1Ways = 1
+	noPre := base
+	noPre.PreemptDelete = false
+	noPre.PreemptClear = false
+	lazy := noPre
+	lazy.Scheduler = sched.Lazy
+	lazy.VSpace = vspace.ASIDDesign
+	m := []NamedPoint{
+		{Name: "benno+preempt+pinned", Point: pinned},
+		{Name: "benno+preempt", Point: base},
+		{Name: "benno+nopreempt", Point: noPre},
+		{Name: "lazy", Point: lazy},
+	}
+	return checkAll("soak", m)
+}
+
+// LegacyProbeMatrix expresses the probe (bound-tightness) matrix
+// (experiments.ProbeConfigs): the modernised structures across the
+// full preemption × pinning square.
+func LegacyProbeMatrix(archID string) ([]NamedPoint, error) {
+	base, err := DefaultPoint(archID)
+	if err != nil {
+		return nil, err
+	}
+	pinned := base
+	pinned.PinnedL1Ways = 1
+	noPre := base
+	noPre.PreemptDelete = false
+	noPre.PreemptClear = false
+	noPrePinned := noPre
+	noPrePinned.PinnedL1Ways = 1
+	m := []NamedPoint{
+		{Name: "benno+preempt+pinned", Point: pinned},
+		{Name: "benno+preempt", Point: base},
+		{Name: "benno+nopreempt+pinned", Point: noPrePinned},
+		{Name: "benno+nopreempt", Point: noPre},
+	}
+	return checkAll("probe", m)
+}
+
+// LegacyHardwareMatrix expresses Figure 9's hardware-feature axis
+// (experiments.Fig9Configs) as lattice points on the ARM1136: the
+// baseline and the L2 / branch-predictor enables. It is ARM1136-only —
+// the swept features are that platform's (§6.4).
+func LegacyHardwareMatrix() []NamedPoint {
+	base := mustDefault(arch.ARM1136ID)
+	l2 := base
+	l2.L2Enabled = true
+	bp := base
+	bp.BranchPredictor = true
+	both := l2
+	both.BranchPredictor = true
+	m := []NamedPoint{
+		{Name: "Baseline", Point: base},
+		{Name: "L2 enabled", Point: l2},
+		{Name: "B-pred enabled", Point: bp},
+		{Name: "L2+B-pred enabled", Point: both},
+	}
+	checked, err := checkAll("fig9", m)
+	if err != nil {
+		panic(err) // static matrix on a built-in backend; cannot fail
+	}
+	return checked
+}
+
+func checkAll(matrix string, m []NamedPoint) ([]NamedPoint, error) {
+	for _, np := range m {
+		if err := np.Point.Check(); err != nil {
+			return nil, fmt.Errorf("konfig: %s matrix point %q: %w", matrix, np.Name, err)
+		}
+	}
+	return m, nil
+}

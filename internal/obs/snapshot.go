@@ -90,6 +90,12 @@ type Snapshot struct {
 	// Arch names the hardware backend the run simulated (e.g.
 	// "arm1136", "cva6rt").
 	Arch string `json:"arch,omitempty"`
+	// Config is the konfig lattice-point hash of the full
+	// kernel+hardware configuration the run executed (empty for ad-hoc
+	// configs). Like Arch, it is identity, not content: the fleet layer
+	// refuses to merge observations whose Config differs, and strips it
+	// (with Counters) from equivalence digests.
+	Config string `json:"config,omitempty"`
 	// Seed is the workload seed the run is reproducible from.
 	Seed uint64 `json:"seed"`
 	// Workers is the number of parallel kernel instances aggregated.

@@ -54,6 +54,20 @@ func (k Kind) String() string {
 	}
 }
 
+// Kinds returns every scheduler design, in definition order — the
+// domain of the konfig "sched.policy" key.
+func Kinds() []Kind { return []Kind{Lazy, Benno, BennoBitmap} }
+
+// ParseKind resolves a design name as printed by Kind.String.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("sched: unknown scheduler design %q", s)
+}
+
 // Operation costs in simulated cycles. The absolute values are
 // calibrated so queue operations sit in the tens of cycles, matching
 // the scale of the paper's measured kernel paths.

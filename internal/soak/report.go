@@ -68,6 +68,7 @@ func report(cfg Config, runners []*Runner) *Report {
 	snap := obs.NewSnapshot()
 	snap.Label = cfg.Label
 	snap.Arch = backend.ID
+	snap.Config = cfg.ConfigKey
 	snap.Seed = cfg.Seed
 	snap.Workers = len(runners)
 	r := &Report{

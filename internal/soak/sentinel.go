@@ -23,6 +23,11 @@ type Capture struct {
 	// Op is the worker's op index when the capture was taken (how many
 	// workload operations had completed).
 	Op uint64
+	// Config is the konfig lattice-point hash of the configuration the
+	// worker ran (Config.ConfigKey; empty for ad-hoc configs), so a
+	// capture surfacing through a fleet merge names the exact
+	// configuration that produced it.
+	Config string
 	// Events is the preserved trace window, oldest first.
 	Events []obs.Event
 }
@@ -46,9 +51,10 @@ type sentinel struct {
 	captureNewMax bool
 
 	// Capture identity, stamped on every dump.
-	worker int
-	seed   uint64
-	opsFn  func() uint64
+	worker    int
+	seed      uint64
+	configKey string
+	opsFn     func() uint64
 
 	violations uint64
 	nearMax    uint64
@@ -100,6 +106,7 @@ func (s *sentinel) sample(sm obs.Sample) {
 			Worker: s.worker,
 			Seed:   s.seed,
 			Op:     ops,
+			Config: s.configKey,
 			Events: s.tracer.LastEvents(s.flightEvents),
 		})
 	}

@@ -41,6 +41,13 @@ type Config struct {
 	// so a two-backend sweep sharing one Seed drives each timing
 	// model with a distinct op stream.
 	Arch string
+	// ConfigKey is the konfig lattice-point hash identifying the full
+	// kernel+hardware configuration (konfig.Point.Hash); empty for
+	// ad-hoc configs. It is stamped into the merged snapshot and every
+	// flight capture, and carried by the fleet wire protocol so batches
+	// and persisted checkpoints from a different configuration are
+	// refused at merge time.
+	ConfigKey string
 	// Seed makes the workload reproducible; workers derive disjoint
 	// sub-seeds from it.
 	Seed uint64
@@ -334,6 +341,7 @@ func NewRunner(cfg Config, index int) (*Runner, error) {
 	// the capture crosses the wire without the Runner.
 	r.sent.worker = index
 	r.sent.seed = cfg.Seed
+	r.sent.configKey = cfg.ConfigKey
 	r.sent.opsFn = func() uint64 { return r.ops }
 	hook := r.sent.sample
 	if cfg.MachineReplay && cfg.Replay != nil {

@@ -46,6 +46,20 @@ func (d Design) String() string {
 	return "shadow"
 }
 
+// Designs returns both address-space designs — the domain of the
+// konfig "vspace.design" key.
+func Designs() []Design { return []Design{ASIDDesign, ShadowDesign} }
+
+// ParseDesign resolves a design name as printed by Design.String.
+func ParseDesign(s string) (Design, error) {
+	for _, d := range Designs() {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("vspace: unknown address-space design %q", s)
+}
+
 // Operation costs in simulated cycles.
 const (
 	// CostKernelWindowCopy is the non-preemptible copy of the 1 KiB

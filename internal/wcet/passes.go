@@ -106,13 +106,15 @@ func (a *Analyzer) imageFingerprint(entry string) string {
 	return a.Img.Fingerprint() + "|" + entry
 }
 
-// hwFingerprint digests the hardware configuration. arch.Config is a
-// flat value struct, so its printed form is a stable digest input. The
-// resolved backend's id@version leads the digest: Config.Arch alone is
-// not enough, because the empty string aliases the default backend and
-// a backend's timing model can be revised without the Config changing.
+// hwFingerprint digests the hardware configuration via its canonical
+// key (arch.Config.CanonicalKey), the same encoding the konfig lattice
+// hashes, so equivalent Configs — e.g. the empty Arch and the explicit
+// default backend id — share cache entries. The resolved backend's
+// id@version leads the digest: the canonical key alone is not enough,
+// because a backend's timing model can be revised without the Config
+// changing.
 func (a *Analyzer) hwFingerprint() string {
-	return a.HW.Backend().Key() + "|" + fmt.Sprintf("%+v", a.HW)
+	return a.HW.Backend().Key() + "|" + a.HW.CanonicalKey()
 }
 
 // constraintsFingerprint digests the user constraint set, in order

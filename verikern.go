@@ -19,12 +19,14 @@ package verikern
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"verikern/internal/arch"
 	"verikern/internal/kbin"
 	"verikern/internal/kernel"
 	"verikern/internal/kimage"
 	"verikern/internal/kobj"
+	"verikern/internal/konfig"
 	"verikern/internal/measure"
 	"verikern/internal/obs"
 	"verikern/internal/passes"
@@ -149,6 +151,51 @@ func SetAnalysisCacheDir(dir string) error {
 // this is how callers like cmd/paper see their pipeline stages.
 func ObservePipeline(m *obs.Metrics) { pipelineMetrics = m }
 
+// LatticePoint is a typed configuration-lattice point: every paper
+// feature as an independently toggleable key, validated by the konfig
+// rule engine. The legacy Variant/Hardware matrices in this package are
+// named points of this lattice (see konfig.LegacySoakMatrix and
+// friends); the sweep drivers walk its feasible region.
+type LatticePoint = konfig.Point
+
+// DefaultLatticePoint is the backend's modernised-kernel lattice point
+// (every paper improvement on, no pinning, default geometry).
+func DefaultLatticePoint(archID string) (LatticePoint, error) {
+	return konfig.DefaultPoint(archID)
+}
+
+// ParetoBench is the BENCH_pareto.json document emitted by ParetoSweep.
+type ParetoBench = konfig.ParetoBench
+
+// ParetoSweep walks each backend's DefaultSpace sub-lattice through the
+// process-wide analysis cache and returns the per-entry-point
+// WCET-vs-throughput Pareto frontiers. For a fixed seed and op budget
+// the document is byte-stable across runs and worker counts.
+func ParetoSweep(ctx context.Context, archIDs []string, seed, ops uint64, workers int) (*ParetoBench, error) {
+	if len(archIDs) == 0 {
+		archIDs = Architectures()
+	}
+	doc := &ParetoBench{Seed: seed, Ops: ops}
+	for _, id := range archIDs {
+		sp, err := konfig.DefaultSpace(id)
+		if err != nil {
+			return nil, err
+		}
+		sw, err := konfig.Sweep(ctx, analysisCache, sp, seed, ops, workers)
+		if err != nil {
+			return nil, err
+		}
+		doc.Archs = append(doc.Archs, *sw)
+	}
+	return doc, nil
+}
+
+// WriteParetoBench serialises a sweep document as the byte-stable
+// BENCH_pareto.json artifact.
+func WriteParetoBench(w io.Writer, doc *ParetoBench) error {
+	return konfig.WriteParetoBench(w, doc)
+}
+
 // BuildImage constructs the synthetic kernel binary for a variant,
 // optionally with the §4 pin set, linked for the default ARM1136/KZM
 // backend.
@@ -167,6 +214,34 @@ func BuildImageArch(v Variant, pinned bool, archID string) (*Image, error) {
 	}
 	return &Image{Img: img, Constraints: cons, Variant: v, Pinned: pinned,
 		Arch: img.Backend().ID, Metrics: pipelineMetrics}, nil
+}
+
+// BuildImagePoint builds the kernel image a validated lattice point
+// selects, plus the Hardware to analyse it under (TCM bases resolved
+// from the image layout when the point enables the TCM). An infeasible
+// point fails with the rule engine's named diagnostics.
+func BuildImagePoint(p LatticePoint) (*Image, Hardware, error) {
+	if err := p.Check(); err != nil {
+		return nil, Hardware{}, err
+	}
+	img, cons, err := kbin.Build(p.KbinOptions())
+	if err != nil {
+		return nil, Hardware{}, err
+	}
+	hw := p.Hardware()
+	if p.TCMEnabled {
+		itcm, dtcm, err := kbin.TCMConfig(img)
+		if err != nil {
+			return nil, Hardware{}, err
+		}
+		hw.ITCMBase, hw.DTCMBase = itcm, dtcm
+	}
+	v := Original
+	if p.PreemptionPoints() {
+		v = Modern
+	}
+	return &Image{Img: img, Constraints: cons, Variant: v, Pinned: p.Pinned(),
+		Arch: img.Backend().ID, Metrics: pipelineMetrics}, hw, nil
 }
 
 // Architectures lists the registered hardware backend ids, sorted.
