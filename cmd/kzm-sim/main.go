@@ -81,6 +81,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -93,6 +94,7 @@ import (
 
 	"verikern"
 	"verikern/internal/arch"
+	"verikern/internal/chaos"
 	"verikern/internal/fleet"
 	"verikern/internal/kernel"
 	"verikern/internal/measure"
@@ -129,6 +131,9 @@ func main() {
 	fleetState := flag.String("fleet-state", "", "persist coordinator checkpoints to this file (resume on restart)")
 	fleetBench := flag.Bool("fleet-bench", false, "run the fleet benchmark across all architecture backends")
 	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "write the fleet benchmark as a BENCH_fleet.json artifact to this file (with -fleet-bench; empty disables)")
+	fleetChaos := flag.Uint64("fleet-chaos", 0, "inject deterministic transport faults into every worker connection, seeded by this value (coordinator mode; 0 disables)")
+	chaosBench := flag.Bool("chaos-bench", false, "run the fault-injected fleet benchmark across all architecture backends (chaos seed from -fleet-chaos, default 1)")
+	chaosOut := flag.String("chaos-out", "BENCH_chaos.json", "write the chaos benchmark as a BENCH_chaos.json artifact to this file (with -chaos-bench; empty disables)")
 	sweepMode := flag.Bool("sweep", false, "sweep the konfig lattice on every backend and emit WCET-vs-throughput Pareto frontiers")
 	sweepWorkers := flag.Int("sweep-workers", 4, "parallel analyses/soaks during -sweep (result is worker-count independent)")
 	sweepOps := flag.Uint64("sweep-ops", 256, "soak operations per swept lattice point")
@@ -172,6 +177,19 @@ func main() {
 		return
 	}
 
+	if *chaosBench {
+		ops, wall, err := parseSoakSpec(*soakSpec)
+		if err != nil || wall > 0 {
+			log.Fatalf("-chaos-bench needs an op budget via -soak (got %q)", *soakSpec)
+		}
+		chaosSeed := *fleetChaos
+		if chaosSeed == 0 {
+			chaosSeed = 1
+		}
+		runChaosBench(ctx, *seed, ops, chaosSeed, *fleetWorkers, *chaosOut)
+		return
+	}
+
 	if *fleetCoord != "" {
 		runFleetCoordinator(ctx, fleetRunConfig{
 			addr:       *fleetCoord,
@@ -184,6 +202,7 @@ func main() {
 			serveAddr:  *serveAddr,
 			statePath:  *fleetState,
 			chaosKills: *fleetChaosKill,
+			chaosSeed:  *fleetChaos,
 			verify:     *fleetVerify,
 		})
 		return
@@ -545,6 +564,7 @@ type fleetRunConfig struct {
 	serveAddr  string
 	statePath  string
 	chaosKills int
+	chaosSeed  uint64
 	verify     bool
 }
 
@@ -588,7 +608,21 @@ func runFleetCoordinator(ctx context.Context, rc fleetRunConfig) {
 		log.Fatal("-fleet-workers must be at least 1")
 	}
 	spec := fleetSpec(rc, ops)
-	c, err := fleet.New(ctx, fleet.Config{Spec: spec, StatePath: rc.statePath, Logf: log.Printf})
+	fcfg := fleet.Config{Spec: spec, StatePath: rc.statePath, Logf: log.Printf}
+	var eng *chaos.Engine
+	if rc.chaosSeed != 0 {
+		// Chaos mode: wrap every accepted connection in the seeded
+		// fault injector and tighten the recovery timeouts so lease
+		// reaping and frame deadlines actually fire within the run.
+		// The aggressive profile lands faults even on short smoke
+		// campaigns; recovery keeps the merge byte-identical anyway.
+		eng = chaos.New(chaos.Aggressive(rc.chaosSeed))
+		fcfg.WrapConn = eng.Wrap
+		fcfg.LeaseTimeout = 2 * time.Second
+		fcfg.FrameTimeout = time.Second
+		fmt.Printf("chaos engine armed: seed %d (deterministic fault schedule)\n", rc.chaosSeed)
+	}
+	c, err := fleet.New(ctx, fcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -669,6 +703,10 @@ func runFleetCoordinator(ctx context.Context, rc fleetRunConfig) {
 	snap := c.Snapshot()
 	fmt.Printf("fleet merged %d/%d ops, %d samples, %d batches, %d dropped, %d restarts\n",
 		st.MergedOps, st.TotalOps, st.Samples, st.Batches, st.Dropped, st.Restarts)
+	if eng != nil {
+		fmt.Printf("chaos: %d faults injected, %d corrupt frames detected, %d quarantined, %d retries, %d lease releases, %d recoveries (p99 %.1f ms)\n",
+			eng.Injected(), st.FramesCorrupt, st.Quarantined, st.Retries, st.Releases, st.Recoveries, st.RecoveryP99MS)
+	}
 	var buf bytes.Buffer
 	_ = snap.WriteJSON(&buf)
 	fmt.Printf("terminal snapshot: irq count %d max %d, bound %d (%d violations)\n",
@@ -699,14 +737,21 @@ func runFleetCoordinator(ctx context.Context, rc fleetRunConfig) {
 	c.Stop()
 }
 
-// runFleetWorker dials the coordinator and runs one worker to
-// completion (shard budget, drain, or signal).
+// runFleetWorker attaches one worker to the coordinator and keeps it
+// attached across connection failures: transport errors (including
+// chaos-injected resets and corrupt frames) redial with jittered
+// exponential backoff, completed shards redial immediately for the
+// next lease, and a drain ("no shard available") exits cleanly.
 func runFleetWorker(ctx context.Context, addr string) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		log.Fatal(err)
+	dial := func(ctx context.Context) (io.ReadWriteCloser, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", addr)
 	}
-	if err := fleet.RunWorker(ctx, conn, fleet.WorkerOptions{Logf: log.Printf}); err != nil {
+	err := fleet.RunWorkerLoop(ctx, dial, fleet.WorkerOptions{
+		Logf:         log.Printf,
+		FrameTimeout: 10 * time.Second,
+	})
+	if err != nil && ctx.Err() == nil {
 		log.Fatal(err)
 	}
 }
@@ -740,4 +785,36 @@ func runFleetBench(ctx context.Context, seed, ops uint64, workers, chaosKills in
 		}
 	}
 	fmt.Println("equal-seed equivalence: every fleet merge byte-identical to its single-process soak")
+}
+
+// runChaosBench runs one fault-injected fleet campaign per
+// architecture backend, verifies that each merged snapshot is
+// byte-identical to a fault-free single-process soak, and writes the
+// BENCH_chaos.json artifact. Any inequivalent campaign is fatal — the
+// artifact's Equivalent flags are the CI gate.
+func runChaosBench(ctx context.Context, seed, ops, chaosSeed uint64, workers int, out string) {
+	doc, err := verikern.ChaosReport(ctx, seed, ops, chaosSeed, workers, verikern.Architectures())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(verikern.FormatChaosReport(doc))
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := verikern.WriteChaosBench(f, doc); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d-arch chaos benchmark to %s\n", len(doc.Configs), out)
+	}
+	for _, r := range doc.Configs {
+		if !r.Equivalent {
+			log.Fatalf("EQUIVALENCE VIOLATION: %s chaos campaign diverges from fault-free single-process soak", r.Arch)
+		}
+	}
+	fmt.Println("chaos recovery proof: every fault-injected merge byte-identical to its fault-free soak")
 }

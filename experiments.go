@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"verikern/internal/arch"
+	"verikern/internal/chaos"
 	"verikern/internal/fleet"
 	"verikern/internal/kbin"
 	"verikern/internal/kernel"
@@ -1034,6 +1035,149 @@ func FormatFleetReport(doc *FleetBench) string {
 // WriteFleetBench serialises the fleet benchmark as the
 // BENCH_fleet.json artifact.
 func WriteFleetBench(w io.Writer, doc *FleetBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// --- Deterministic chaos engine (fault-injected fleet) ---
+
+// ChaosBenchRow is one architecture's fault-injected fleet campaign
+// in the BENCH_chaos.json artifact. Beyond the fleet row's transport
+// health it reports the fault-injection and recovery telemetry: how
+// many faults the seeded schedule landed, how many frames the CRC
+// layer caught, how many connections were quarantined as poisoned,
+// how many leases timed out and were re-issued, and the tail latency
+// of shard recovery (dirty release to successor lease).
+type ChaosBenchRow struct {
+	Arch      string `json:"arch"`
+	Label     string `json:"label"`
+	ChaosSeed uint64 `json:"chaos_seed"`
+	Workers   int    `json:"workers"`
+	Ops       uint64 `json:"ops"`
+	WallMS    int64  `json:"wall_ms"`
+	// Fault injection and detection.
+	FaultsInjected int    `json:"faults_injected"`
+	FramesCorrupt  uint64 `json:"frames_corrupt"`
+	Quarantined    uint64 `json:"quarantined"`
+	// Retry / recovery telemetry.
+	Retries       uint64  `json:"retries"`
+	Releases      uint64  `json:"releases"`
+	Batches       uint64  `json:"batches"`
+	Dropped       uint64  `json:"dropped"`
+	Restarts      uint64  `json:"restarts"`
+	Recoveries    int     `json:"recoveries"`
+	RecoveryP99MS float64 `json:"recovery_p99_ms"`
+	// Equivalent is the keystone verdict: despite every injected
+	// fault, the merged snapshot is byte-identical to a fault-free
+	// single-process soak at the same seed.
+	Equivalent bool `json:"equivalent"`
+}
+
+// ChaosBench is the BENCH_chaos.json document.
+type ChaosBench struct {
+	Seed      uint64          `json:"seed"`
+	ChaosSeed uint64          `json:"chaos_seed"`
+	Ops       uint64          `json:"ops"`
+	Workers   int             `json:"workers"`
+	Configs   []ChaosBenchRow `json:"configs"`
+}
+
+// ChaosReport runs one fault-injected fleet campaign per architecture
+// backend: every worker connection is wrapped in a chaos.Conn driven
+// by a deterministic schedule derived from chaosSeed, with aggressive
+// transport fault rates and tightened lease/frame timeouts so the
+// recovery machinery (CRC strikes, quarantine, lease reaping, worker
+// reconnect) is actually exercised. Each campaign's merged snapshot
+// is then compared byte-for-byte against a fault-free single-process
+// soak at the same kernel seed. An inequivalent campaign is reported,
+// not an error; callers (and CI) gate on the Equivalent flags.
+func ChaosReport(ctx context.Context, seed, ops, chaosSeed uint64, workers int, archIDs []string) (*ChaosBench, error) {
+	modern := kernel.Modern()
+	modern.CheckInvariants = false
+	doc := &ChaosBench{Seed: seed, ChaosSeed: chaosSeed, Ops: ops, Workers: workers}
+	for i, id := range archIDs {
+		spec := fleet.Spec{
+			Label:   "benno+preempt",
+			Arch:    id,
+			Seed:    seed,
+			Ops:     ops,
+			Workers: workers,
+			Kernel:  modern,
+		}
+		// Per-arch chaos seed keeps each campaign's fault schedule
+		// distinct while the whole document stays reproducible.
+		eng := chaos.New(chaos.Aggressive(chaosSeed + uint64(i)))
+		cfg := fleet.Config{
+			Spec:            spec,
+			BatchOps:        151,
+			LeaseTimeout:    2 * time.Second,
+			FrameTimeout:    time.Second,
+			QuarantineAfter: 4,
+			WrapConn:        eng.Wrap,
+		}
+		start := time.Now()
+		c, err := fleet.RunLocal(ctx, cfg, fleet.LocalOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("chaos fleet %s: %w", id, err)
+		}
+		wall := time.Since(start)
+		snap := c.Snapshot()
+		st := c.Status()
+		fleetDigest, err := fleet.EquivalenceDigest(snap)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := soak.Run(ctx, spec.SoakConfig())
+		if err != nil {
+			return nil, fmt.Errorf("chaos fleet %s: single-process comparator: %w", id, err)
+		}
+		singleDigest, err := fleet.EquivalenceDigest(rep.Snapshot)
+		if err != nil {
+			return nil, err
+		}
+		doc.Configs = append(doc.Configs, ChaosBenchRow{
+			Arch:           snap.Arch,
+			Label:          snap.Label,
+			ChaosSeed:      eng.Seed(),
+			Workers:        workers,
+			Ops:            snap.Ops,
+			WallMS:         wall.Milliseconds(),
+			FaultsInjected: eng.Injected(),
+			FramesCorrupt:  st.FramesCorrupt,
+			Quarantined:    st.Quarantined,
+			Retries:        st.Retries,
+			Releases:       st.Releases,
+			Batches:        st.Batches,
+			Dropped:        st.Dropped,
+			Restarts:       st.Restarts,
+			Recoveries:     st.Recoveries,
+			RecoveryP99MS:  st.RecoveryP99MS,
+			Equivalent:     bytes.Equal(fleetDigest, singleDigest),
+		})
+	}
+	return doc, nil
+}
+
+// FormatChaosReport renders the chaos benchmark as the text table
+// cmd/kzm-sim prints.
+func FormatChaosReport(doc *ChaosBench) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos engine: %d workers, %d ops, kernel seed %d, chaos seed %d\n",
+		doc.Workers, doc.Ops, doc.Seed, doc.ChaosSeed)
+	fmt.Fprintf(&b, "%-10s %7s %8s %6s %8s %9s %9s %8s %11s %s\n",
+		"arch", "faults", "corrupt", "quar", "retries", "releases", "restarts", "recover", "rec p99 ms", "equivalent")
+	for _, r := range doc.Configs {
+		fmt.Fprintf(&b, "%-10s %7d %8d %6d %8d %9d %9d %8d %11.1f %v\n",
+			r.Arch, r.FaultsInjected, r.FramesCorrupt, r.Quarantined, r.Retries,
+			r.Releases, r.Restarts, r.Recoveries, r.RecoveryP99MS, r.Equivalent)
+	}
+	return b.String()
+}
+
+// WriteChaosBench serialises the chaos benchmark as the
+// BENCH_chaos.json artifact.
+func WriteChaosBench(w io.Writer, doc *ChaosBench) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(doc)

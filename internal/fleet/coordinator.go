@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"os"
@@ -37,8 +38,37 @@ type Config struct {
 	// after every merge) so a restarted coordinator resumes the
 	// campaign instead of starting over. The file is keyed by a hash
 	// of the resolved spec; a mismatch is an error, not a silent
-	// restart.
+	// restart. A corrupt or torn file (bad checksum, unparseable) is
+	// quarantined to StatePath+".corrupt" and the campaign starts
+	// fresh — regeneration is always safe, resuming garbage is not.
 	StatePath string
+	// LeaseTimeout bounds how long a leased, incomplete shard may go
+	// without a merged batch before the coordinator reclaims the lease
+	// (severing the connection so a healthy worker can re-lease the
+	// shard). Checkpoint-gated admission makes the reclaim safe even
+	// if the old worker is merely slow: its late batches are dropped
+	// as stale. 0 defaults to 60s; negative disables reaping.
+	LeaseTimeout time.Duration
+	// FrameTimeout is the per-frame read/write deadline on worker
+	// connections (applied only when the conn supports deadlines).
+	// A stalled or desynchronised peer fails its frame instead of
+	// wedging the reader goroutine. 0 defaults to 30s; negative
+	// disables deadlines.
+	FrameTimeout time.Duration
+	// QuarantineAfter severs a connection after this many consecutive
+	// corrupt frames (CRC mismatch, bad length, unknown type,
+	// unparseable batch) — a poisoned peer is cut off rather than
+	// striking forever. Any well-formed frame resets the count.
+	// 0 defaults to 8.
+	QuarantineAfter int
+	// WrapConn, when set, wraps every served connection before the
+	// protocol runs — the fault-injection seam (chaos.Engine.Wrap)
+	// used by tests, benches and the -fleet-chaos CLI mode.
+	WrapConn func(io.ReadWriteCloser) io.ReadWriteCloser
+	// PersistTransform, when set, filters the state-file bytes just
+	// before they hit disk — the checkpoint-store fault seam
+	// (chaos.Engine.CorruptState). Production leaves it nil.
+	PersistTransform func([]byte) []byte
 	// Logf receives progress lines; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -50,8 +80,12 @@ type shardState struct {
 	simCycles  uint64 // cumulative simulated clock at checkpoint
 	owner      uint64 // conn id currently leasing the shard (0 = none)
 	restarts   int    // times the lease was lost before completion
+	releases   int    // lease-timeout reclaims (subset of restarts)
 	completed  bool
 	samples    uint64    // merged IRQ samples
+	leasedAt   time.Time // when the current owner took the lease
+	releasedAt time.Time // when the last dirty release happened (zeroed on re-lease)
+	reaped     uint64    // owner id already reaped, to not double-count
 	lastBatch  time.Time // wall time of the last merged batch
 	rate       float64   // EWMA samples/sec
 }
@@ -85,8 +119,14 @@ type Coordinator struct {
 	batchOps int
 	logf     func(format string, args ...any)
 
-	statePath string
-	stateKey  string
+	statePath        string
+	stateKey         string
+	persistTransform func([]byte) []byte
+
+	leaseTimeout    time.Duration // 0 = reaping disabled
+	frameTimeout    time.Duration // 0 = deadlines disabled
+	quarantineAfter int
+	wrapConn        func(io.ReadWriteCloser) io.ReadWriteCloser
 
 	mu       sync.Mutex
 	shards   []*shardState
@@ -98,10 +138,16 @@ type Coordinator struct {
 
 	// Transport health counters (exposed as fleet.* snapshot
 	// counters; excluded from the equivalence digest).
-	batches  uint64
-	dropped  uint64 // stale/foreign batches rejected by the checkpoint gate
-	mergeNS  uint64
-	restarts uint64
+	batches       uint64
+	dropped       uint64 // stale/foreign batches rejected by the checkpoint gate
+	mergeNS       uint64
+	restarts      uint64
+	retries       uint64 // worker reconnect attempts reported at hello
+	releases      uint64 // lease-timeout reclaims by the reaper
+	framesCorrupt uint64 // frames failing CRC/length/type validation
+	quarantined   uint64 // connections severed after QuarantineAfter strikes
+	lastMerge     time.Time
+	recoveriesMS  []float64 // dirty release → successor lease, per recovery
 
 	ingest chan envelope
 	stopCh chan struct{}
@@ -110,6 +156,7 @@ type Coordinator struct {
 	stopMu sync.Once
 
 	mergerWG sync.WaitGroup
+	reaperWG sync.WaitGroup
 }
 
 // New resolves the spec (defaults, backend, WCET bound, shard
@@ -134,19 +181,37 @@ func New(ctx context.Context, cfg Config) (*Coordinator, error) {
 		queueCap = 64
 	}
 	c := &Coordinator{
-		spec:      spec,
-		backend:   backend.ID,
-		batchOps:  cfg.BatchOps,
-		logf:      cfg.Logf,
-		statePath: cfg.StatePath,
-		conns:     make(map[uint64]io.Closer),
-		started:   time.Now(),
-		ingest:    make(chan envelope, queueCap),
-		stopCh:    make(chan struct{}),
-		doneCh:    make(chan struct{}),
+		spec:             spec,
+		backend:          backend.ID,
+		batchOps:         cfg.BatchOps,
+		logf:             cfg.Logf,
+		statePath:        cfg.StatePath,
+		persistTransform: cfg.PersistTransform,
+		leaseTimeout:     cfg.LeaseTimeout,
+		frameTimeout:     cfg.FrameTimeout,
+		quarantineAfter:  cfg.QuarantineAfter,
+		wrapConn:         cfg.WrapConn,
+		conns:            make(map[uint64]io.Closer),
+		started:          time.Now(),
+		ingest:           make(chan envelope, queueCap),
+		stopCh:           make(chan struct{}),
+		doneCh:           make(chan struct{}),
 	}
 	if c.batchOps <= 0 {
 		c.batchOps = 512
+	}
+	if c.leaseTimeout == 0 {
+		c.leaseTimeout = 60 * time.Second
+	} else if c.leaseTimeout < 0 {
+		c.leaseTimeout = 0
+	}
+	if c.frameTimeout == 0 {
+		c.frameTimeout = 30 * time.Second
+	} else if c.frameTimeout < 0 {
+		c.frameTimeout = 0
+	}
+	if c.quarantineAfter <= 0 {
+		c.quarantineAfter = 8
 	}
 	c.agg.src = make([]obs.Histogram, obs.NumOps())
 	c.agg.eventCounts = make(map[string]uint64)
@@ -165,7 +230,64 @@ func New(ctx context.Context, cfg Config) (*Coordinator, error) {
 	c.checkComplete()
 	c.mergerWG.Add(1)
 	go c.merger()
+	if c.leaseTimeout > 0 {
+		interval := c.leaseTimeout / 4
+		if interval < 5*time.Millisecond {
+			interval = 5 * time.Millisecond
+		}
+		if interval > time.Second {
+			interval = time.Second
+		}
+		c.reaperWG.Add(1)
+		go c.reaper(interval)
+	}
 	return c, nil
+}
+
+// reaper watches leased shards for stalls: an incomplete shard whose
+// lease has seen no merged batch for LeaseTimeout gets its connection
+// severed, which releases the lease so a healthy worker can take the
+// shard over from its merged checkpoint. Any batches the stalled
+// worker later produces fail the checkpoint gate.
+func (c *Coordinator) reaper(interval time.Duration) {
+	defer c.reaperWG.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		var victims []io.Closer
+		c.mu.Lock()
+		for i, sh := range c.shards {
+			if sh.completed || sh.owner == 0 || sh.owner == sh.reaped {
+				continue
+			}
+			last := sh.leasedAt
+			if sh.lastBatch.After(last) {
+				last = sh.lastBatch
+			}
+			if last.IsZero() || now.Sub(last) < c.leaseTimeout {
+				continue
+			}
+			cn, ok := c.conns[sh.owner]
+			if !ok {
+				continue
+			}
+			sh.reaped = sh.owner
+			sh.releases++
+			c.releases++
+			c.logfSafe("fleet: shard %d lease timed out at checkpoint %d, reclaiming", i, sh.checkpoint)
+			victims = append(victims, cn)
+		}
+		c.mu.Unlock()
+		for _, cn := range victims {
+			cn.Close()
+		}
+	}
 }
 
 func (c *Coordinator) logfSafe(format string, args ...any) {
@@ -221,8 +343,23 @@ func (c *Coordinator) Serve(ln net.Listener) error {
 // shard lease, then batch ingestion until the worker finishes or the
 // connection breaks. A broken lease (connection lost before the final
 // batch) releases the shard for the next hello, counting a restart.
+// Corrupt frames (CRC/length/type failures) are counted and skipped —
+// never merged — and QuarantineAfter consecutive strikes sever the
+// connection as poisoned.
 func (c *Coordinator) ServeConn(conn io.ReadWriteCloser) error {
+	if c.wrapConn != nil {
+		conn = c.wrapConn(conn)
+	}
 	defer conn.Close()
+	// The hello read must be bounded even when per-frame deadlines are
+	// off: a pre-lease connection owns no shard, so the lease reaper
+	// cannot reclaim it, and a garbled hello length prefix would wedge
+	// both ends of the pipe forever. Fall back to the lease timeout.
+	helloTimeout := c.frameTimeout
+	if helloTimeout <= 0 {
+		helloTimeout = c.leaseTimeout
+	}
+	armRead(conn, helloTimeout)
 	t, body, err := readMsg(conn)
 	if err != nil {
 		return fmt.Errorf("fleet: hello: %w", err)
@@ -235,11 +372,16 @@ func (c *Coordinator) ServeConn(conn io.ReadWriteCloser) error {
 		return fmt.Errorf("fleet: bad hello: %w", err)
 	}
 	if h.Proto != protoVersion {
+		armWrite(conn, c.frameTimeout)
 		writeMsg(conn, msgDrain, nil)
 		return fmt.Errorf("fleet: protocol mismatch: worker %d speaks %d, want %d", h.PID, h.Proto, protoVersion)
 	}
 
+	now := time.Now()
 	c.mu.Lock()
+	if h.Retries > 0 {
+		c.retries += uint64(h.Retries)
+	}
 	shard := -1
 	if !c.draining {
 		for i, sh := range c.shards {
@@ -255,6 +397,7 @@ func (c *Coordinator) ServeConn(conn io.ReadWriteCloser) error {
 		// incomplete shard is still owned — possibly by a dead conn
 		// whose queued batches are mid-flush). The worker exits; a
 		// supervising spawner retries.
+		armWrite(conn, c.frameTimeout)
 		writeMsg(conn, msgDrain, nil)
 		return nil
 	}
@@ -262,6 +405,14 @@ func (c *Coordinator) ServeConn(conn io.ReadWriteCloser) error {
 	id := c.nextConn
 	sh := c.shards[shard]
 	sh.owner = id
+	sh.leasedAt = now
+	sh.reaped = 0
+	if !sh.releasedAt.IsZero() {
+		// This lease recovers a shard lost to a crash, quarantine or
+		// timeout: record how long the shard sat ownerless.
+		c.recoveriesMS = append(c.recoveriesMS, float64(now.Sub(sh.releasedAt).Microseconds())/1000)
+		sh.releasedAt = time.Time{}
+	}
 	c.conns[id] = conn
 	as := Assign{
 		Shard:      shard,
@@ -273,16 +424,27 @@ func (c *Coordinator) ServeConn(conn io.ReadWriteCloser) error {
 	c.mu.Unlock()
 	c.logfSafe("fleet: worker pid %d leased shard %d at checkpoint %d/%d", h.PID, shard, as.Checkpoint, as.Budget)
 
+	armWrite(conn, c.frameTimeout)
 	if err := writeMsg(conn, msgAssign, as); err != nil {
 		c.release(id, shard, false)
 		return fmt.Errorf("fleet: assign: %w", err)
 	}
 
 	sawFinal := false
+	strikes := 0
 	var readErr error
 	for {
+		armRead(conn, c.frameTimeout)
 		t, body, err := readMsg(conn)
 		if err != nil {
+			if errors.Is(err, errCorruptFrame) {
+				strikes++
+				if !c.strike(shard, strikes) {
+					readErr = fmt.Errorf("fleet: shard %d conn quarantined after %d corrupt frames: %w", shard, strikes, err)
+					break
+				}
+				continue
+			}
 			if !sawFinal && !errors.Is(err, io.EOF) {
 				readErr = err
 			}
@@ -293,9 +455,16 @@ func (c *Coordinator) ServeConn(conn io.ReadWriteCloser) error {
 		}
 		var b Batch
 		if err := json.Unmarshal(body, &b); err != nil {
-			readErr = fmt.Errorf("fleet: bad batch: %w", err)
-			break
+			// CRC-valid framing with unparseable JSON — still a corrupt
+			// frame as far as the merge path is concerned.
+			strikes++
+			if !c.strike(shard, strikes) {
+				readErr = fmt.Errorf("fleet: shard %d conn quarantined after %d corrupt frames: bad batch: %v", shard, strikes, err)
+				break
+			}
+			continue
 		}
+		strikes = 0
 		if b.Final {
 			sawFinal = true
 		}
@@ -305,6 +474,20 @@ func (c *Coordinator) ServeConn(conn io.ReadWriteCloser) error {
 	}
 	c.release(id, shard, sawFinal)
 	return readErr
+}
+
+// strike counts one corrupt frame and reports whether the connection
+// may keep reading (false once the quarantine threshold is reached).
+func (c *Coordinator) strike(shard, strikes int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.framesCorrupt++
+	if strikes < c.quarantineAfter {
+		return true
+	}
+	c.quarantined++
+	c.logfSafe("fleet: shard %d: quarantining connection after %d consecutive corrupt frames", shard, strikes)
+	return false
 }
 
 // enqueue blocks until the merger accepts the envelope (bounded-queue
@@ -340,6 +523,7 @@ func (c *Coordinator) release(id uint64, shard int, clean bool) {
 		if !clean && !sh.completed {
 			sh.restarts++
 			c.restarts++
+			sh.releasedAt = time.Now()
 			c.logfSafe("fleet: shard %d lease lost at checkpoint %d (restart %d)", shard, sh.checkpoint, sh.restarts)
 		}
 	}
@@ -440,6 +624,7 @@ func (c *Coordinator) merge(connID uint64, b Batch) {
 		}
 	}
 	sh.lastBatch = now
+	c.lastMerge = now
 	sh.samples += irqD.Count()
 	sh.checkpoint = b.ToOps
 	sh.simCycles = b.SimCycles
@@ -508,6 +693,7 @@ func (c *Coordinator) Stop() {
 	}
 	c.mu.Unlock()
 	c.mergerWG.Wait()
+	c.reaperWG.Wait()
 }
 
 // CloseShardConn abruptly severs the connection currently leasing a
@@ -563,11 +749,15 @@ func (c *Coordinator) Snapshot() *obs.Snapshot {
 		Captures:      uint64(len(c.agg.captures)),
 	}
 	s.Counters = map[string]uint64{
-		"fleet.batches":     c.batches,
-		"fleet.dropped":     c.dropped,
-		"fleet.merge_ns":    c.mergeNS,
-		"fleet.queue_depth": uint64(len(c.ingest)),
-		"fleet.restarts":    c.restarts,
+		"fleet.batches":        c.batches,
+		"fleet.dropped":        c.dropped,
+		"fleet.merge_ns":       c.mergeNS,
+		"fleet.queue_depth":    uint64(len(c.ingest)),
+		"fleet.restarts":       c.restarts,
+		"fleet.retries":        c.retries,
+		"fleet.releases":       c.releases,
+		"fleet.frames_corrupt": c.framesCorrupt,
+		"fleet.quarantined":    c.quarantined,
 	}
 	return s
 }
@@ -607,13 +797,34 @@ func EquivalenceDigest(s *obs.Snapshot) ([]byte, error) {
 }
 
 // persistedState is the coordinator's checkpoint file: merged shard
-// watermarks keyed by the resolved spec hash.
+// watermarks keyed by the resolved spec hash, integrity-stamped with a
+// CRC32 over the document (computed with the Checksum field empty).
 type persistedState struct {
 	Key         string   `json:"key"`
 	Checkpoints []uint64 `json:"checkpoints"`
 	SimCycles   []uint64 `json:"sim_cycles"`
+	Checksum    string   `json:"checksum"`
 }
 
+// stateChecksum renders the canonical checksum of a state document:
+// CRC32 (IEEE) of its JSON form with the Checksum field cleared.
+func stateChecksum(st persistedState) (string, error) {
+	st.Checksum = ""
+	b, err := json.MarshalIndent(st, "", " ")
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(b)), nil
+}
+
+// loadState resumes persisted checkpoints. The failure taxonomy is
+// deliberate: a corrupt file (torn write, bit rot — unparseable JSON
+// or checksum mismatch) is quarantined to StatePath+".corrupt" and the
+// campaign regenerates from zero, because every checkpoint is
+// recomputable; but a *valid* file for the wrong campaign (key
+// mismatch, wrong shard shape) is a hard error, because silently
+// discarding someone else's progress is an operator mistake, not a
+// fault to recover from.
 func (c *Coordinator) loadState() error {
 	if c.statePath == "" {
 		return nil
@@ -627,7 +838,14 @@ func (c *Coordinator) loadState() error {
 	}
 	var st persistedState
 	if err := json.Unmarshal(b, &st); err != nil {
-		return fmt.Errorf("fleet: state %s: %w", c.statePath, err)
+		return c.quarantineState(fmt.Sprintf("unparseable (%v)", err))
+	}
+	want, err := stateChecksum(st)
+	if err != nil {
+		return err
+	}
+	if st.Checksum != want {
+		return c.quarantineState(fmt.Sprintf("checksum %q, want %q", st.Checksum, want))
 	}
 	if st.Key != c.stateKey {
 		return fmt.Errorf("fleet: state %s belongs to a different campaign (key %.12s, want %.12s)", c.statePath, st.Key, c.stateKey)
@@ -647,11 +865,26 @@ func (c *Coordinator) loadState() error {
 	return nil
 }
 
-// saveStateLocked persists checkpoints atomically (temp + rename).
-// Note the histograms are NOT persisted: a resumed coordinator's
-// aggregate restarts empty and re-accumulates only the remaining
-// window, so cross-restart aggregates are partial by design — the
-// checkpoint file's job is to not lose (or redo) op budget.
+// quarantineState moves a corrupt state file aside (StatePath +
+// ".corrupt", kept for diagnosis) so the campaign starts fresh.
+func (c *Coordinator) quarantineState(reason string) error {
+	quarantine := c.statePath + ".corrupt"
+	if err := os.Rename(c.statePath, quarantine); err != nil {
+		return fmt.Errorf("fleet: state %s is corrupt (%s) and could not be quarantined: %w", c.statePath, reason, err)
+	}
+	c.logfSafe("fleet: state %s is corrupt (%s); quarantined to %s, campaign regenerates from zero", c.statePath, reason, quarantine)
+	return nil
+}
+
+// saveStateLocked persists checkpoints atomically: a checksum-stamped
+// document written to a unique temp file, fsynced, then renamed over
+// the state path — a crash at any point leaves either the previous
+// complete state or the new complete state, never a torn mix (and a
+// torn temp file is ignored by its name). Note the histograms are NOT
+// persisted: a resumed coordinator's aggregate restarts empty and
+// re-accumulates only the remaining window, so cross-restart
+// aggregates are partial by design — the checkpoint file's job is to
+// not lose (or redo) op budget.
 func (c *Coordinator) saveStateLocked() {
 	if c.statePath == "" {
 		return
@@ -661,16 +894,44 @@ func (c *Coordinator) saveStateLocked() {
 		st.Checkpoints = append(st.Checkpoints, sh.checkpoint)
 		st.SimCycles = append(st.SimCycles, sh.simCycles)
 	}
+	sum, err := stateChecksum(st)
+	if err != nil {
+		return
+	}
+	st.Checksum = sum
 	b, err := json.MarshalIndent(st, "", " ")
 	if err != nil {
 		return
 	}
-	tmp := c.statePath + ".tmp"
-	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+	b = append(b, '\n')
+	if c.persistTransform != nil {
+		b = c.persistTransform(b)
+	}
+	dir, base := filepath.Split(c.statePath)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
 		c.logfSafe("fleet: persist: %v", err)
 		return
 	}
-	if err := os.Rename(tmp, c.statePath); err != nil {
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		c.logfSafe("fleet: persist: %v", err)
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		c.logfSafe("fleet: persist: %v", err)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		c.logfSafe("fleet: persist: %v", err)
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.statePath); err != nil {
+		os.Remove(tmp.Name())
 		c.logfSafe("fleet: persist: %v", err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -36,7 +37,18 @@ func RunLocal(ctx context.Context, cfg Config, opt LocalOptions) (*Coordinator, 
 
 	var mu sync.Mutex
 	var live []net.Conn // coordinator-side ends, for chaos kills
+	// closeLive severs every remaining pipe so goroutines wedged in
+	// undeadlined reads (possible under chaos with frame deadlines off)
+	// unblock before wg.Wait; cancel alone cannot reach a blocked Read.
+	closeLive := func() {
+		mu.Lock()
+		for _, cn := range live {
+			cn.Close()
+		}
+		mu.Unlock()
+	}
 	kills := 0
+	var pendingRetries atomic.Int64 // failed sessions, reported at the next hello
 
 	var wg sync.WaitGroup
 	spawn := func() {
@@ -59,7 +71,12 @@ func RunLocal(ctx context.Context, cfg Config, opt LocalOptions) (*Coordinator, 
 		}()
 		go func() {
 			defer wg.Done()
-			_ = RunWorker(workerCtx, client, WorkerOptions{Logf: opt.Logf})
+			wopt := WorkerOptions{Logf: opt.Logf, Retries: int(pendingRetries.Swap(0))}
+			if err := RunWorker(workerCtx, client, wopt); err != nil && workerCtx.Err() == nil {
+				// The replacement's hello carries the retry count, the
+				// in-process analogue of RunWorkerLoop's reconnects.
+				pendingRetries.Add(int64(wopt.Retries) + 1)
+			}
 		}()
 	}
 	for i := 0; i < c.spec.Workers; i++ {
@@ -75,6 +92,7 @@ supervise:
 			break supervise
 		case <-ctx.Done():
 			cancel()
+			closeLive()
 			wg.Wait()
 			c.Stop()
 			return c, ctx.Err()
@@ -116,6 +134,7 @@ supervise:
 		}
 	}
 	cancel()
+	closeLive()
 	wg.Wait()
 	c.Stop()
 	return c, nil

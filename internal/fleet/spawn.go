@@ -36,8 +36,14 @@ func SpawnLocalWorkers(ctx context.Context, bin string, n int, args []string, lo
 
 func (p *ProcSet) supervise(slot int, bin string, args []string) {
 	defer p.wg.Done()
+	// Jittered exponential backoff (shared with RunWorkerLoop's
+	// reconnect path) so a crash-looping worker binary — or a
+	// coordinator with nothing to lease — is not hammered by
+	// spawn/exit cycles. A worker that stayed up a while resets it.
+	bo := NewBackoff(100*time.Millisecond, 5*time.Second, uint64(slot)+1)
 	for p.ctx.Err() == nil {
 		cmd := exec.CommandContext(p.ctx, bin, args...)
+		started := time.Now()
 		if err := cmd.Start(); err != nil {
 			if p.logf != nil {
 				p.logf("fleet: worker slot %d: %v", slot, err)
@@ -59,15 +65,14 @@ func (p *ProcSet) supervise(slot int, bin string, args []string) {
 		if p.ctx.Err() != nil {
 			return
 		}
+		if time.Since(started) >= time.Second {
+			bo.Reset()
+		}
 		if p.logf != nil {
 			p.logf("fleet: worker slot %d exited (%v), respawning", slot, err)
 		}
-		// Brief backoff so a coordinator with nothing to lease is not
-		// hammered by drain/exit/respawn cycles.
-		select {
-		case <-p.ctx.Done():
+		if !bo.Sleep(p.ctx) {
 			return
-		case <-time.After(100 * time.Millisecond):
 		}
 	}
 }

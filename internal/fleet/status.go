@@ -1,6 +1,9 @@
 package fleet
 
-import "time"
+import (
+	"sort"
+	"time"
+)
 
 // ShardStatus is one shard's health row in /fleet.json.
 type ShardStatus struct {
@@ -17,6 +20,10 @@ type ShardStatus struct {
 	SimCycles uint64 `json:"sim_cycles"`
 	// Restarts counts lost leases (worker kills, broken conns).
 	Restarts int `json:"restarts"`
+	// Releases counts lease-timeout reclaims by the reaper — the
+	// subset of restarts where the coordinator, not the transport,
+	// decided the worker was gone.
+	Releases int `json:"releases"`
 	// Samples is the merged IRQ sample count; SamplesPerSec an EWMA
 	// of the shard's recent merge rate.
 	Samples       uint64  `json:"samples"`
@@ -52,6 +59,26 @@ type Status struct {
 	MergeNS    uint64 `json:"merge_ns"`
 	QueueDepth int    `json:"queue_depth"`
 	Restarts   uint64 `json:"restarts"`
+	// Fault-recovery health: worker reconnect attempts (reported at
+	// hello), lease-timeout reclaims, frames that failed CRC/length/
+	// type validation (detected, counted, never merged), and
+	// connections severed after repeated corrupt frames.
+	Retries       uint64 `json:"retries"`
+	Releases      uint64 `json:"releases"`
+	FramesCorrupt uint64 `json:"frames_corrupt"`
+	Quarantined   uint64 `json:"quarantined"`
+	// Recoveries counts dirty-release → re-lease cycles; RecoveryP99MS
+	// is the 99th percentile of how long reclaimed shards sat
+	// ownerless (0 until the first recovery).
+	Recoveries    int     `json:"recoveries"`
+	RecoveryP99MS float64 `json:"recovery_p99_ms"`
+	// Degraded marks the served snapshot as stale-but-consistent: the
+	// campaign is incomplete and at least one unfinished shard has no
+	// live lease, so the aggregate is the last consistent merge rather
+	// than a live view. SnapshotAgeMS is the wall time since that
+	// merge (-1 before the first).
+	Degraded      bool  `json:"degraded"`
+	SnapshotAgeMS int64 `json:"snapshot_age_ms"`
 
 	Shards []ShardStatus `json:"shards"`
 }
@@ -62,18 +89,28 @@ func (c *Coordinator) Status() Status {
 	defer c.mu.Unlock()
 	now := time.Now()
 	st := Status{
-		Label:      c.spec.Label,
-		Arch:       c.backend,
-		Seed:       c.spec.Seed,
-		Workers:    c.spec.Workers,
-		TotalOps:   c.spec.Ops,
-		Draining:   c.draining,
-		UptimeMS:   now.Sub(c.started).Milliseconds(),
-		Batches:    c.batches,
-		Dropped:    c.dropped,
-		MergeNS:    c.mergeNS,
-		QueueDepth: len(c.ingest),
-		Restarts:   c.restarts,
+		Label:         c.spec.Label,
+		Arch:          c.backend,
+		Seed:          c.spec.Seed,
+		Workers:       c.spec.Workers,
+		TotalOps:      c.spec.Ops,
+		Draining:      c.draining,
+		UptimeMS:      now.Sub(c.started).Milliseconds(),
+		Batches:       c.batches,
+		Dropped:       c.dropped,
+		MergeNS:       c.mergeNS,
+		QueueDepth:    len(c.ingest),
+		Restarts:      c.restarts,
+		Retries:       c.retries,
+		Releases:      c.releases,
+		FramesCorrupt: c.framesCorrupt,
+		Quarantined:   c.quarantined,
+		Recoveries:    len(c.recoveriesMS),
+		RecoveryP99MS: p99(c.recoveriesMS),
+		SnapshotAgeMS: -1,
+	}
+	if !c.lastMerge.IsZero() {
+		st.SnapshotAgeMS = now.Sub(c.lastMerge).Milliseconds()
 	}
 	st.Completed = true
 	for i, sh := range c.shards {
@@ -86,6 +123,7 @@ func (c *Coordinator) Status() Status {
 			LagOps:         sh.budget - min64(sh.checkpoint, sh.budget),
 			SimCycles:      sh.simCycles,
 			Restarts:       sh.restarts,
+			Releases:       sh.releases,
 			Samples:        sh.samples,
 			SamplesPerSec:  sh.rate,
 			LastBatchAgeMS: -1,
@@ -103,6 +141,14 @@ func (c *Coordinator) Status() Status {
 	if up := now.Sub(c.started).Seconds(); up > 0 {
 		st.SamplesPerSec = float64(st.Samples) / up
 	}
+	if !st.Completed && !st.Draining {
+		for _, row := range st.Shards {
+			if !row.Completed && !row.Attached {
+				st.Degraded = true
+				break
+			}
+		}
+	}
 	return st
 }
 
@@ -111,4 +157,18 @@ func min64(a, b uint64) uint64 {
 		return a
 	}
 	return b
+}
+
+// p99 returns the 99th-percentile of vals (nearest-rank), 0 if empty.
+func p99(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	idx := (len(sorted)*99 + 99) / 100
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
 }

@@ -19,8 +19,11 @@ package fleet
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"time"
 
 	"verikern/internal/kernel"
 	"verikern/internal/obs"
@@ -28,8 +31,9 @@ import (
 )
 
 // protoVersion guards against mixed coordinator/worker builds: the
-// hello carries it and the coordinator rejects mismatches.
-const protoVersion = 1
+// hello carries it and the coordinator rejects mismatches. Version 2
+// added the per-frame CRC32 trailer and the hello retry count.
+const protoVersion = 2
 
 // maxFrame bounds one wire frame (type byte + JSON payload). Batches
 // are a few KiB of sparse histogram deltas; 16 MiB is generous
@@ -37,8 +41,12 @@ const protoVersion = 1
 // length prefix before allocating.
 const maxFrame = 16 << 20
 
-// Message types. Every frame is 4 bytes big-endian length (of what
-// follows), 1 type byte, then a JSON payload.
+// Message types. Every frame is 4 bytes big-endian length (of
+// everything that follows), 1 type byte, a JSON payload, then a 4-byte
+// big-endian CRC32 (IEEE) of the type byte + payload. The checksum is
+// what lets the coordinator tell a corrupted frame from a hostile or
+// broken peer: corrupt frames are detected, counted, and skipped
+// (errCorruptFrame) without ever reaching the merge path.
 type msgType byte
 
 const (
@@ -57,6 +65,10 @@ const (
 type Hello struct {
 	Proto int `json:"proto"`
 	PID   int `json:"pid"`
+	// Retries is how many failed connection attempts preceded this
+	// hello (reconnect loop); the coordinator folds it into the
+	// fleet.retries counter.
+	Retries int `json:"retries,omitempty"`
 }
 
 // Spec is the wire form of the fleet-wide workload: the serialisable
@@ -189,6 +201,16 @@ type Batch struct {
 	Final bool `json:"final,omitempty"`
 }
 
+// errCorruptFrame classifies recoverable frame corruption: the reader
+// consumed a whole (claimed) frame but its length, checksum, or type
+// byte is wrong. Callers may keep reading the stream — a strike
+// counter quarantines connections that never recover — whereas other
+// read errors (EOF, deadline, short read) mean the connection is gone.
+var errCorruptFrame = errors.New("corrupt frame")
+
+// frameMinLen is the smallest valid frame body: type byte + CRC32.
+const frameMinLen = 5
+
 // writeMsg frames and writes one message. Callers must serialise
 // writes per connection themselves (the worker writes from one
 // goroutine; the coordinator guards each conn with a mutex).
@@ -201,30 +223,72 @@ func writeMsg(w io.Writer, t msgType, v any) error {
 		}
 		body = b
 	}
-	if len(body)+1 > maxFrame {
+	if len(body)+frameMinLen > maxFrame {
 		return fmt.Errorf("fleet: frame type %d exceeds %d bytes", t, maxFrame)
 	}
-	frame := make([]byte, 5+len(body))
-	binary.BigEndian.PutUint32(frame[:4], uint32(1+len(body)))
+	frame := make([]byte, 4+frameMinLen+len(body))
+	binary.BigEndian.PutUint32(frame[:4], uint32(frameMinLen+len(body)))
 	frame[4] = byte(t)
 	copy(frame[5:], body)
+	sum := crc32.ChecksumIEEE(frame[4 : 5+len(body)])
+	binary.BigEndian.PutUint32(frame[5+len(body):], sum)
 	_, err := w.Write(frame)
 	return err
 }
 
 // readMsg reads one framed message and returns its type and payload.
+// A frame that arrives complete but fails validation (length out of
+// range, CRC mismatch, unknown type byte) returns an error wrapping
+// errCorruptFrame; transport failures return the underlying error.
 func readMsg(r io.Reader) (msgType, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n < 1 || n > maxFrame {
-		return 0, nil, fmt.Errorf("fleet: frame length %d out of range", n)
+	if n < frameMinLen || n > maxFrame {
+		return 0, nil, fmt.Errorf("fleet: frame length %d out of range: %w", n, errCorruptFrame)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return 0, nil, err
 	}
-	return msgType(buf[0]), buf[1:], nil
+	want := binary.BigEndian.Uint32(buf[n-4:])
+	if got := crc32.ChecksumIEEE(buf[:n-4]); got != want {
+		return 0, nil, fmt.Errorf("fleet: frame checksum %08x, want %08x: %w", got, want, errCorruptFrame)
+	}
+	t := msgType(buf[0])
+	if t < msgHello || t > msgDrain {
+		return 0, nil, fmt.Errorf("fleet: unknown frame type %d: %w", t, errCorruptFrame)
+	}
+	return t, buf[1 : n-4], nil
+}
+
+// armRead sets a read deadline d from now when the stream supports
+// deadlines (net.Conn, net.Pipe, chaos wrappers); otherwise a no-op.
+// d <= 0 clears any existing deadline, so a disabled frame timeout
+// behaves identically to the pre-deadline protocol.
+func armRead(r io.Reader, d time.Duration) {
+	rd, ok := r.(interface{ SetReadDeadline(time.Time) error })
+	if !ok {
+		return
+	}
+	if d <= 0 {
+		_ = rd.SetReadDeadline(time.Time{})
+		return
+	}
+	_ = rd.SetReadDeadline(time.Now().Add(d))
+}
+
+// armWrite is armRead's write-side twin.
+func armWrite(w io.Writer, d time.Duration) {
+	wd, ok := w.(interface{ SetWriteDeadline(time.Time) error })
+	if !ok {
+		return
+	}
+	if d <= 0 {
+		_ = wd.SetWriteDeadline(time.Time{})
+		return
+	}
+	_ = wd.SetWriteDeadline(time.Now().Add(d))
 }

@@ -3,9 +3,11 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"verikern/internal/obs"
 	"verikern/internal/soak"
@@ -15,6 +17,13 @@ import (
 type WorkerOptions struct {
 	// Logf receives progress lines; nil silences them.
 	Logf func(format string, args ...any)
+	// Retries is the failed-connection-attempt count reported in the
+	// hello; RunWorkerLoop maintains it, direct callers may leave 0.
+	Retries int
+	// FrameTimeout is the per-frame read/write deadline on the worker
+	// side (applied only when the conn supports deadlines). 0 disables
+	// — in-process harnesses keep the old semantics.
+	FrameTimeout time.Duration
 }
 
 func (o WorkerOptions) logf(format string, args ...any) {
@@ -22,6 +31,19 @@ func (o WorkerOptions) logf(format string, args ...any) {
 		o.Logf(format, args...)
 	}
 }
+
+// workerOutcome classifies how one worker connection ended, so a
+// reconnect loop can tell "retry" from "no more work".
+type workerOutcome int
+
+const (
+	// workerErr: transport or protocol failure — reconnect with backoff.
+	workerErr workerOutcome = iota
+	// workerDone: the leased shard completed (or drained) cleanly.
+	workerDone
+	// workerNoShard: the coordinator had nothing to lease.
+	workerNoShard
+)
 
 // RunWorker drives one fleet worker over an established connection:
 // hello, receive the shard lease, deterministically fast-forward to
@@ -31,24 +53,77 @@ func (o WorkerOptions) logf(format string, args ...any) {
 // coordinator drains, or ctx is cancelled. The final batch is marked
 // Final and the connection closed.
 func RunWorker(ctx context.Context, conn io.ReadWriteCloser, opt WorkerOptions) error {
-	defer conn.Close()
-	if err := writeMsg(conn, msgHello, Hello{Proto: protoVersion, PID: os.Getpid()}); err != nil {
-		return fmt.Errorf("fleet worker: hello: %w", err)
+	_, err := runWorkerConn(ctx, conn, opt)
+	return err
+}
+
+// RunWorkerLoop keeps a worker attached to a coordinator across
+// connection failures: dial, run a session, and on any transport or
+// protocol error reconnect with jittered exponential backoff (capped,
+// context-cancellable). It returns nil once the coordinator reports no
+// shard to lease (campaign complete or draining), or ctx's error on
+// cancellation. Completed shards reset the backoff and re-dial
+// immediately — one worker process can chew through several shards.
+func RunWorkerLoop(ctx context.Context, dial func(ctx context.Context) (io.ReadWriteCloser, error), opt WorkerOptions) error {
+	bo := NewBackoff(50*time.Millisecond, 2*time.Second, uint64(os.Getpid()))
+	retries := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		conn, err := dial(ctx)
+		if err != nil {
+			retries++
+			opt.logf("fleet worker: dial failed (%v), retry %d", err, retries)
+			if !bo.Sleep(ctx) {
+				return ctx.Err()
+			}
+			continue
+		}
+		o := opt
+		o.Retries = retries
+		outcome, err := runWorkerConn(ctx, conn, o)
+		switch outcome {
+		case workerNoShard:
+			return nil
+		case workerDone:
+			retries = 0
+			bo.Reset()
+		default:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			retries++
+			opt.logf("fleet worker: session failed (%v), reconnect %d", err, retries)
+			if !bo.Sleep(ctx) {
+				return ctx.Err()
+			}
+		}
 	}
+}
+
+// runWorkerConn is one worker session; see RunWorker.
+func runWorkerConn(ctx context.Context, conn io.ReadWriteCloser, opt WorkerOptions) (workerOutcome, error) {
+	defer conn.Close()
+	armWrite(conn, opt.FrameTimeout)
+	if err := writeMsg(conn, msgHello, Hello{Proto: protoVersion, PID: os.Getpid(), Retries: opt.Retries}); err != nil {
+		return workerErr, fmt.Errorf("fleet worker: hello: %w", err)
+	}
+	armRead(conn, opt.FrameTimeout)
 	t, body, err := readMsg(conn)
 	if err != nil {
-		return fmt.Errorf("fleet worker: awaiting assign: %w", err)
+		return workerErr, fmt.Errorf("fleet worker: awaiting assign: %w", err)
 	}
 	if t == msgDrain {
 		opt.logf("fleet worker: no shard available, exiting")
-		return nil
+		return workerNoShard, nil
 	}
 	if t != msgAssign {
-		return fmt.Errorf("fleet worker: unexpected message type %d", t)
+		return workerErr, fmt.Errorf("fleet worker: unexpected message type %d", t)
 	}
 	var as Assign
 	if err := json.Unmarshal(body, &as); err != nil {
-		return fmt.Errorf("fleet worker: bad assign: %w", err)
+		return workerErr, fmt.Errorf("fleet worker: bad assign: %w", err)
 	}
 	cfg := as.Spec.SoakConfig().WithDefaults()
 	if cfg.MachineReplay {
@@ -56,13 +131,13 @@ func RunWorker(ctx context.Context, conn io.ReadWriteCloser, opt WorkerOptions) 
 		// deterministic, so a local rebuild yields the identical plan.
 		plan, err := soak.BuildReplayPlan(ctx, cfg)
 		if err != nil {
-			return fmt.Errorf("fleet worker: replay plan: %w", err)
+			return workerErr, fmt.Errorf("fleet worker: replay plan: %w", err)
 		}
 		cfg.Replay = plan
 	}
 	rn, err := soak.NewRunner(cfg, as.Shard)
 	if err != nil {
-		return fmt.Errorf("fleet worker: shard %d: %w", as.Shard, err)
+		return workerErr, fmt.Errorf("fleet worker: shard %d: %w", as.Shard, err)
 	}
 	opt.logf("fleet worker %d: shard %d, checkpoint %d/%d", os.Getpid(), as.Shard, as.Checkpoint, as.Budget)
 
@@ -74,14 +149,14 @@ func RunWorker(ctx context.Context, conn io.ReadWriteCloser, opt WorkerOptions) 
 	const ffChunk = 256
 	for rn.Ops() < as.Checkpoint {
 		if err := ctx.Err(); err != nil {
-			return err
+			return workerErr, err
 		}
 		n := as.Checkpoint - rn.Ops()
 		if n > ffChunk {
 			n = ffChunk
 		}
 		if err := rn.Step(int(n)); err != nil {
-			return fmt.Errorf("fleet worker: fast-forward: %w", err)
+			return workerErr, fmt.Errorf("fleet worker: fast-forward: %w", err)
 		}
 	}
 	cur := newCursor(as.Shard)
@@ -97,13 +172,21 @@ func RunWorker(ctx context.Context, conn io.ReadWriteCloser, opt WorkerOptions) 
 	// before the first op) exactly as an in-process AddTracer would.
 
 	// The reader goroutine watches for the coordinator's drain (or a
-	// dead connection) while the main loop steps the kernel.
+	// dead connection) while the main loop steps the kernel. Corrupt
+	// frames (a faulty link can garble the drain direction too) are
+	// tolerated up to a budget before the connection is declared lost.
 	drainCh := make(chan struct{})
 	lostCh := make(chan struct{})
 	go func() {
+		corrupt := 0
 		for {
 			t, _, err := readMsg(conn)
 			if err != nil {
+				if errors.Is(err, errCorruptFrame) {
+					if corrupt++; corrupt <= 32 {
+						continue
+					}
+				}
 				close(lostCh)
 				return
 			}
@@ -126,7 +209,7 @@ func RunWorker(ctx context.Context, conn io.ReadWriteCloser, opt WorkerOptions) 
 		case <-drainCh:
 			final = true
 		case <-lostCh:
-			return fmt.Errorf("fleet worker: connection lost")
+			return workerErr, fmt.Errorf("fleet worker: connection lost")
 		default:
 		}
 		remaining := uint64(0)
@@ -142,7 +225,7 @@ func RunWorker(ctx context.Context, conn io.ReadWriteCloser, opt WorkerOptions) 
 				n = remaining
 			}
 			if err := rn.Step(int(n)); err != nil {
-				return fmt.Errorf("fleet worker: shard %d: %w", as.Shard, err)
+				return workerErr, fmt.Errorf("fleet worker: shard %d: %w", as.Shard, err)
 			}
 			if rn.Ops() >= as.Budget {
 				final = true
@@ -150,15 +233,16 @@ func RunWorker(ctx context.Context, conn io.ReadWriteCloser, opt WorkerOptions) 
 		}
 		b, err := cur.batch(rn)
 		if err != nil {
-			return fmt.Errorf("fleet worker: delta: %w", err)
+			return workerErr, fmt.Errorf("fleet worker: delta: %w", err)
 		}
 		b.Final = final
+		armWrite(conn, opt.FrameTimeout)
 		if err := writeMsg(conn, msgBatch, b); err != nil {
-			return fmt.Errorf("fleet worker: stream: %w", err)
+			return workerErr, fmt.Errorf("fleet worker: stream: %w", err)
 		}
 		if final {
 			opt.logf("fleet worker %d: shard %d done at %d ops", os.Getpid(), as.Shard, rn.Ops())
-			return nil
+			return workerDone, nil
 		}
 	}
 }

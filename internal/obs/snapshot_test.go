@@ -52,6 +52,12 @@ func observatoryFixture() (*Tracer, *Metrics) {
 	m := NewMetrics()
 	m.Add("ilp/solves", 3)
 	m.Add("cache/hits", 41)
+	// Fleet recovery telemetry, as merged from a chaos campaign: the
+	// exposition path must surface them like any other counter.
+	m.Add("fleet.retries", 2)
+	m.Add("fleet.releases", 1)
+	m.Add("fleet.frames_corrupt", 3)
+	m.Add("fleet.quarantined", 1)
 	return tr, m
 }
 
