@@ -102,6 +102,11 @@ type aggregate struct {
 	captures    []soak.Capture
 }
 
+// recoveryWindow bounds the recovery-time sample ring: the reported
+// p99 is over the most recent recoveries, so a months-long campaign
+// neither grows the slice nor re-sorts its whole history per poll.
+const recoveryWindow = 512
+
 // envelope is one ingest-queue entry: a batch tagged with the
 // connection that produced it, or a flush sentinel (reply closed once
 // every earlier entry has been merged — FIFO order makes that exact).
@@ -147,7 +152,9 @@ type Coordinator struct {
 	framesCorrupt uint64 // frames failing CRC/length/type validation
 	quarantined   uint64 // connections severed after QuarantineAfter strikes
 	lastMerge     time.Time
-	recoveriesMS  []float64 // dirty release → successor lease, per recovery
+	recoveries    uint64    // total dirty release → successor lease cycles
+	recoveriesMS  []float64 // ring of the most recent recoveryWindow recovery times
+	recoveryIdx   int       // next ring slot once the window is full
 
 	ingest chan envelope
 	stopCh chan struct{}
@@ -354,10 +361,15 @@ func (c *Coordinator) ServeConn(conn io.ReadWriteCloser) error {
 	// The hello read must be bounded even when per-frame deadlines are
 	// off: a pre-lease connection owns no shard, so the lease reaper
 	// cannot reclaim it, and a garbled hello length prefix would wedge
-	// both ends of the pipe forever. Fall back to the lease timeout.
+	// both ends of the pipe forever. Fall back to the lease timeout,
+	// and when both are disabled to a hardcoded bound — the invariant
+	// holds regardless of configuration.
 	helloTimeout := c.frameTimeout
 	if helloTimeout <= 0 {
 		helloTimeout = c.leaseTimeout
+	}
+	if helloTimeout <= 0 {
+		helloTimeout = 30 * time.Second
 	}
 	armRead(conn, helloTimeout)
 	t, body, err := readMsg(conn)
@@ -409,8 +421,17 @@ func (c *Coordinator) ServeConn(conn io.ReadWriteCloser) error {
 	sh.reaped = 0
 	if !sh.releasedAt.IsZero() {
 		// This lease recovers a shard lost to a crash, quarantine or
-		// timeout: record how long the shard sat ownerless.
-		c.recoveriesMS = append(c.recoveriesMS, float64(now.Sub(sh.releasedAt).Microseconds())/1000)
+		// timeout: record how long the shard sat ownerless. The sample
+		// ring is bounded so a long campaign's p99 tracks recent
+		// recoveries instead of growing (and re-sorting) forever.
+		c.recoveries++
+		ms := float64(now.Sub(sh.releasedAt).Microseconds()) / 1000
+		if len(c.recoveriesMS) < recoveryWindow {
+			c.recoveriesMS = append(c.recoveriesMS, ms)
+		} else {
+			c.recoveriesMS[c.recoveryIdx] = ms
+			c.recoveryIdx = (c.recoveryIdx + 1) % recoveryWindow
+		}
 		sh.releasedAt = time.Time{}
 	}
 	c.conns[id] = conn
@@ -930,9 +951,25 @@ func (c *Coordinator) saveStateLocked() {
 		c.logfSafe("fleet: persist: %v", err)
 		return
 	}
+	// CreateTemp makes the file 0600; the checkpoint is meant to be
+	// world-readable (external tooling polls StatePath), so widen it
+	// before the rename publishes it.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		c.logfSafe("fleet: persist: %v", err)
+		return
+	}
 	if err := os.Rename(tmp.Name(), c.statePath); err != nil {
 		os.Remove(tmp.Name())
 		c.logfSafe("fleet: persist: %v", err)
+		return
+	}
+	// The rename itself lives in the directory; fsync it so the swap
+	// survives power loss, not just a process crash. Best-effort — some
+	// filesystems refuse directory syncs.
+	if d, err := os.Open(filepath.Dir(c.statePath)); err == nil {
+		_ = d.Sync()
+		d.Close()
 	}
 }
 

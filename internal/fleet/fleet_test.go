@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"net"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -293,6 +294,14 @@ func TestFleetStateResume(t *testing.T) {
 	}
 	c1.Stop()
 
+	// The atomic temp+rename must not tighten the published file's
+	// permissions to CreateTemp's 0600 — external tooling reads it.
+	if fi, err := os.Stat(statePath); err != nil {
+		t.Fatal(err)
+	} else if perm := fi.Mode().Perm(); perm != 0o644 {
+		t.Errorf("state file mode %o, want 644", perm)
+	}
+
 	// A different campaign over the same state file must be refused.
 	other := sp
 	other.Seed = 7
@@ -330,6 +339,66 @@ func TestFleetStateResume(t *testing.T) {
 	// (checkpoints persist; histograms do not).
 	if got := c2.Snapshot().Ops; got != sp.Ops {
 		t.Errorf("resumed snapshot ops %d, want %d", got, sp.Ops)
+	}
+}
+
+// slowWriteConn throttles writes so a worker session's wall time
+// deterministically exceeds the worker frame timeout while every
+// individual frame still lands well inside its own deadline. Deadline
+// methods pass through to the embedded net.Pipe conn.
+type slowWriteConn struct {
+	net.Conn
+	delay time.Duration
+}
+
+func (s *slowWriteConn) Write(p []byte) (int, error) {
+	time.Sleep(s.delay)
+	return s.Conn.Write(p)
+}
+
+// TestWorkerSessionOutlastsFrameTimeout is the regression test for the
+// stale-deadline bug: the absolute read deadline armed for the assign
+// read must be cleared before the drain watcher takes over the read
+// side, because the coordinator legitimately sends nothing between
+// assign and drain — left armed, it fired FrameTimeout after hello,
+// closed lostCh, and killed every healthy session whose campaign
+// outlasted the timeout (each reconnect then re-fast-forwarded from
+// the checkpoint, stalling the shard forever once fast-forward alone
+// exceeded the timeout).
+func TestWorkerSessionOutlastsFrameTimeout(t *testing.T) {
+	sp := fleetSpec(2000, 1)
+	sp.BoundCycles = 142_957
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c, err := New(ctx, Config{Spec: sp, BatchOps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	server, client := net.Pipe()
+	go c.ServeConn(server)
+	// 20 batches × 8ms write throttle ≥ 160ms of session, far past the
+	// 60ms frame timeout; each individual frame stays well within it.
+	err = RunWorker(ctx, &slowWriteConn{Conn: client, delay: 8 * time.Millisecond},
+		WorkerOptions{FrameTimeout: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("healthy session outlasting FrameTimeout failed: %v", err)
+	}
+	select {
+	case <-c.Done():
+	case <-ctx.Done():
+		t.Fatal("campaign never completed")
+	}
+	st := c.Status()
+	if st.Restarts != 0 {
+		t.Errorf("healthy session counted %d restarts", st.Restarts)
+	}
+	fleet, err := EquivalenceDigest(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single := digestSingle(t, sp); !bytes.Equal(fleet, single) {
+		t.Errorf("deadline-armed fleet snapshot diverges from single-process soak")
 	}
 }
 

@@ -69,7 +69,8 @@ type Status struct {
 	Quarantined   uint64 `json:"quarantined"`
 	// Recoveries counts dirty-release → re-lease cycles; RecoveryP99MS
 	// is the 99th percentile of how long reclaimed shards sat
-	// ownerless (0 until the first recovery).
+	// ownerless (0 until the first recovery), computed over a bounded
+	// window of the most recent recoveries.
 	Recoveries    int     `json:"recoveries"`
 	RecoveryP99MS float64 `json:"recovery_p99_ms"`
 	// Degraded marks the served snapshot as stale-but-consistent: the
@@ -105,7 +106,7 @@ func (c *Coordinator) Status() Status {
 		Releases:      c.releases,
 		FramesCorrupt: c.framesCorrupt,
 		Quarantined:   c.quarantined,
-		Recoveries:    len(c.recoveriesMS),
+		Recoveries:    int(c.recoveries),
 		RecoveryP99MS: p99(c.recoveriesMS),
 		SnapshotAgeMS: -1,
 	}

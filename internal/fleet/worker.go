@@ -125,6 +125,13 @@ func runWorkerConn(ctx context.Context, conn io.ReadWriteCloser, opt WorkerOptio
 	if err := json.Unmarshal(body, &as); err != nil {
 		return workerErr, fmt.Errorf("fleet worker: bad assign: %w", err)
 	}
+	// The assign read's deadline is absolute; left armed it would fire
+	// FrameTimeout after the hello and kill the drain watcher's read on
+	// a perfectly healthy session (the coordinator legitimately sends
+	// nothing between assign and drain). Clear it — a dead connection
+	// still surfaces as EOF/reset on the watcher's read, and the write
+	// side keeps its per-frame deadline.
+	armRead(conn, 0)
 	cfg := as.Spec.SoakConfig().WithDefaults()
 	if cfg.MachineReplay {
 		// The plan never crosses the wire; the analysis pipeline is
@@ -174,7 +181,11 @@ func runWorkerConn(ctx context.Context, conn io.ReadWriteCloser, opt WorkerOptio
 	// The reader goroutine watches for the coordinator's drain (or a
 	// dead connection) while the main loop steps the kernel. Corrupt
 	// frames (a faulty link can garble the drain direction too) are
-	// tolerated up to a budget before the connection is declared lost.
+	// tolerated up to a budget of consecutive strikes before the
+	// connection is declared lost; a well-formed frame resets the
+	// count, mirroring the coordinator's strike counter, so a
+	// long-lived noisy link is not eventually condemned by its
+	// cumulative history.
 	drainCh := make(chan struct{})
 	lostCh := make(chan struct{})
 	go func() {
@@ -190,6 +201,7 @@ func runWorkerConn(ctx context.Context, conn io.ReadWriteCloser, opt WorkerOptio
 				close(lostCh)
 				return
 			}
+			corrupt = 0
 			if t == msgDrain {
 				close(drainCh)
 				return
